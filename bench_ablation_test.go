@@ -1,0 +1,114 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// log-time axis for θ_hm histograms, the mean-pairwise cluster spread,
+// the dendrogram cut fraction, and the per-test contribution to the full
+// pipeline. Each bench runs the detection pipeline with one knob changed
+// and reports the resulting detection/false-positive rates, so
+// `go test -bench Ablation` prints a compact ablation table.
+package plotters_test
+
+import (
+	"testing"
+
+	"plotters"
+)
+
+// ablate runs the full pipeline over the shared corpus with a modified
+// config and reports detection metrics.
+func ablate(b *testing.B, mutate func(*plotters.Config)) {
+	b.Helper()
+	ds, _ := corpus(b)
+	cfg := plotters.DefaultConfig()
+	mutate(&cfg)
+	for i := 0; i < b.N; i++ {
+		var storm, nugache, fp plotters.Rates
+		for d := range ds.Days {
+			day, err := plotters.OverlayDay(ds.Days[d], ds, int64(900+d), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := day.Analysis.FindPlotters()
+			if err != nil {
+				b.Fatal(err)
+			}
+			all := day.Analysis.Hosts()
+			storm.Add(plotters.Score(res.Suspects, all, day.Storm))
+			nugache.Add(plotters.Score(res.Suspects, all, day.Nugache))
+			fp.Add(plotters.Score(res.Suspects, all, day.Storm.Union(day.Nugache)))
+		}
+		if i == b.N-1 {
+			b.ReportMetric(storm.TPR(), "storm-tpr")
+			b.ReportMetric(nugache.TPR(), "nugache-tpr")
+			b.ReportMetric(fp.FPR(), "fp-rate")
+		}
+	}
+}
+
+// BenchmarkAblationBaseline is the calibrated default configuration.
+func BenchmarkAblationBaseline(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) {})
+}
+
+// BenchmarkAblationRawTimeScale disables the log-time transform: EMD is
+// computed over raw-second histograms, where heavy-tail gaps swamp the
+// timer structure.
+func BenchmarkAblationRawTimeScale(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) { cfg.RawTimeScale = true })
+}
+
+// BenchmarkAblationMaxDiameter filters clusters on the strict maximum
+// pairwise distance (the paper's literal "diameter") instead of the mean.
+func BenchmarkAblationMaxDiameter(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) { cfg.MaxDiameter = true })
+}
+
+// BenchmarkAblationPaperCutFraction uses the paper's 5% dendrogram cut,
+// which at this population scale produces very coarse clusters.
+func BenchmarkAblationPaperCutFraction(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) { cfg.CutFraction = 0.05 })
+}
+
+// BenchmarkAblationHM70 moves τ_hm to the paper's 70th percentile.
+func BenchmarkAblationHM70(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) { cfg.HMPercentile = 70 })
+}
+
+// BenchmarkAblationNoMinSamples drops the interstitial sample floor to
+// the minimum, letting barely-observed hosts into the clustering.
+func BenchmarkAblationNoMinSamples(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) { cfg.MinInterstitialSamples = 2 })
+}
+
+// BenchmarkAblationVolumeOnly skips churn: θ_hm input is S_vol alone
+// (approximated by zeroing the churn percentile so θ_churn keeps no one).
+func BenchmarkAblationVolumeOnly(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) { cfg.ChurnPercentile = 0 })
+}
+
+// BenchmarkAblationChurnOnly skips volume.
+func BenchmarkAblationChurnOnly(b *testing.B) {
+	ablate(b, func(cfg *plotters.Config) { cfg.VolPercentile = 0 })
+}
+
+// BenchmarkBaselineComparison contrasts FindPlotters with the §II
+// baseline detectors (TDG, persistence, failed-connections) on the same
+// corpus, reporting the Trader-flagging rate that motivates the paper:
+// generic P2P identifiers cannot tell Traders and Plotters apart.
+func BenchmarkBaselineComparison(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		outcomes, err := suite.CompareBaselines()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, o := range outcomes {
+				switch o.Name {
+				case "findplotters":
+					b.ReportMetric(o.TraderRate, "findplotters-trader-rate")
+				case "tdg":
+					b.ReportMetric(o.TraderRate, "tdg-trader-rate")
+				}
+			}
+		}
+	}
+}

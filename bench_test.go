@@ -1,0 +1,248 @@
+// Benchmarks regenerating every figure in the paper's evaluation section
+// (one bench per figure; Figure 4 is the FindPlotters algorithm itself,
+// which every detection bench exercises). Each bench reports the figure's
+// headline metrics via b.ReportMetric, so `go test -bench .` doubles as a
+// compact reproduction run. The corpus is scaled down from the full
+// evaluation (see cmd/experiments for paper-scale runs) but preserves the
+// population ratios.
+package plotters_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"plotters"
+)
+
+// benchCorpus lazily synthesizes one shared scaled-down corpus: two
+// collection days plus the two honeynet traces.
+var benchCorpus struct {
+	once  sync.Once
+	ds    *plotters.Dataset
+	suite *plotters.Suite
+	err   error
+}
+
+func corpus(b *testing.B) (*plotters.Dataset, *plotters.Suite) {
+	b.Helper()
+	benchCorpus.once.Do(func() {
+		cfg := plotters.DefaultDatasetConfig(42)
+		cfg.Days = 2
+		cfg.DayTemplate.CampusHosts = 150
+		cfg.DayTemplate.Gnutella = 5
+		cfg.DayTemplate.EMule = 5
+		cfg.DayTemplate.BitTorrent = 8
+		cfg.DayTemplate.PeerNetworkNodes = 1200
+		ds, err := plotters.GenerateDataset(cfg)
+		if err != nil {
+			benchCorpus.err = err
+			return
+		}
+		suite, err := plotters.NewSuite(ds, plotters.DefaultConfig(), 17)
+		if err != nil {
+			benchCorpus.err = err
+			return
+		}
+		benchCorpus.ds = ds
+		benchCorpus.suite = suite
+	})
+	if benchCorpus.err != nil {
+		b.Fatal(benchCorpus.err)
+	}
+	return benchCorpus.ds, benchCorpus.suite
+}
+
+func BenchmarkFigure01AvgFlowSizeCDF(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		cdfs, err := suite.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(cdfs.Trader[len(cdfs.Trader)/2].X, "trader-median-bytes/flow")
+			b.ReportMetric(cdfs.Storm[len(cdfs.Storm)/2].X, "storm-median-bytes/flow")
+		}
+	}
+}
+
+func BenchmarkFigure02NewIPFraction(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		r, err := suite.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(r.Trader.NewFraction) > 0 && len(r.Storm.NewFraction) > 0 {
+			b.ReportMetric(r.Trader.NewFraction[len(r.Trader.NewFraction)-1], "trader-new-fraction")
+			b.ReportMetric(r.Storm.NewFraction[len(r.Storm.NewFraction)-1], "storm-new-fraction")
+		}
+	}
+}
+
+func BenchmarkFigure03Interstitial(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		panels, err := suite.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(panels)), "panels")
+		}
+	}
+}
+
+func BenchmarkFigure05FailedConnCDF(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		cdfs, err := suite.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(cdfs.CMU[len(cdfs.CMU)/2].X, "cmu-median-failed-pct")
+			b.ReportMetric(cdfs.Nugache[len(cdfs.Nugache)/2].X, "nugache-median-failed-pct")
+		}
+	}
+}
+
+func BenchmarkFigure06VolumeROC(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		points, err := suite.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			mid := points[len(points)/2] // 50th percentile point
+			b.ReportMetric(mid.Storm.TPR(), "storm-tpr@50")
+			b.ReportMetric(mid.FPR, "fpr@50")
+		}
+	}
+}
+
+func BenchmarkFigure07ChurnROC(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		points, err := suite.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			mid := points[len(points)/2]
+			b.ReportMetric(mid.Storm.TPR(), "storm-tpr@50")
+			b.ReportMetric(mid.FPR, "fpr@50")
+		}
+	}
+}
+
+func BenchmarkFigure08HMROC(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		points, err := suite.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			mid := points[len(points)/2]
+			b.ReportMetric(mid.Storm.TPR(), "storm-tpr@50")
+			b.ReportMetric(mid.FPR, "fpr@50")
+		}
+	}
+}
+
+func BenchmarkFigure09Pipeline(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		r, err := suite.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.StormTPR, "storm-tpr")
+			b.ReportMetric(r.NugacheTPR, "nugache-tpr")
+			b.ReportMetric(r.FPRate, "fp-rate")
+		}
+	}
+}
+
+func BenchmarkFigure10NugacheFlows(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		r, err := suite.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			if pts := r.Stages["hm"]; len(pts) > 0 {
+				b.ReportMetric(pts[len(pts)/2].X, "surviving-median-flows")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure11EvasionThresholds(b *testing.B) {
+	_, suite := corpus(b)
+	for i := 0; i < b.N; i++ {
+		days, err := suite.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(days) > 0 {
+			b.ReportMetric(days[0].StormVolFactor, "storm-vol-factor")
+			b.ReportMetric(days[0].NugacheVolFactor, "nugache-vol-factor")
+		}
+	}
+}
+
+func BenchmarkFigure12JitterEvasion(b *testing.B) {
+	_, suite := corpus(b)
+	// A reduced sweep keeps the bench affordable; cmd/experiments runs
+	// the full §VI range.
+	sweep := []time.Duration{30 * time.Second, 10 * time.Minute, time.Hour}
+	for i := 0; i < b.N; i++ {
+		points, err := suite.Figure12(sweep, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(points[0].StormTPR, "storm-tpr@30s")
+			b.ReportMetric(points[len(points)-1].StormTPR, "storm-tpr@1h")
+		}
+	}
+}
+
+// BenchmarkFindPlotters measures the core pipeline itself on one overlaid
+// day — the per-window cost an operator would pay.
+func BenchmarkFindPlotters(b *testing.B) {
+	_, suite := corpus(b)
+	day, err := suite.Day(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := day.Analysis.FindPlotters(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeDay measures corpus generation throughput.
+func BenchmarkSynthesizeDay(b *testing.B) {
+	cfg := plotters.DefaultDayConfig(time.Date(2007, time.November, 5, 0, 0, 0, 0, time.UTC), 9)
+	cfg.CampusHosts = 100
+	cfg.Gnutella, cfg.EMule, cfg.BitTorrent = 3, 3, 5
+	cfg.PeerNetworkNodes = 800
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		day, err := plotters.GenerateDay(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(day.Records)), "records")
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseFigs(t *testing.T) {
+	all, err := parseFigs("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 11 || all[4] {
+		t.Errorf("all = %v (figure 4 is the algorithm, not data)", all)
+	}
+	some, err := parseFigs("1, 9,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 3 || !some[1] || !some[9] || !some[12] {
+		t.Errorf("some = %v", some)
+	}
+	if _, err := parseFigs("1,x"); err == nil {
+		t.Error("bad list accepted")
+	}
+}

@@ -1,0 +1,154 @@
+// Command plotfind runs the FindPlotters detection pipeline over a flow
+// trace and prints the suspected P2P bots, with per-stage survivor counts
+// and the dynamically computed thresholds.
+//
+// Usage:
+//
+//	plotfind [-format binary|csv|jsonl] [-internal CIDR[,CIDR]] [-v] TRACE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"plotters"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plotfind:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		format    = flag.String("format", "binary", "trace format: binary, csv, or jsonl")
+		internals = flag.String("internal", "128.2.0.0/16,128.237.0.0/16", "comma-separated internal CIDR prefixes")
+		verbose   = flag.Bool("v", false, "print per-stage host sets")
+		volPct    = flag.Float64("vol-pct", 0, "override τ_vol percentile (0 = default)")
+		churnPct  = flag.Float64("churn-pct", 0, "override τ_churn percentile (0 = default)")
+		hmPct     = flag.Float64("hm-pct", 0, "override τ_hm percentile (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("expected exactly one trace file argument")
+	}
+
+	internal, err := parseSubnets(*internals)
+	if err != nil {
+		return err
+	}
+	records, err := readTrace(flag.Arg(0), *format)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d flow records from %s\n", len(records), flag.Arg(0))
+
+	cfg := plotters.DefaultConfig()
+	if *volPct > 0 {
+		cfg.VolPercentile = *volPct
+	}
+	if *churnPct > 0 {
+		cfg.ChurnPercentile = *churnPct
+	}
+	if *hmPct > 0 {
+		cfg.HMPercentile = *hmPct
+	}
+	res, err := plotters.FindPlotters(records, internal, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nstage           hosts  threshold\n")
+	fmt.Printf("analyzed      %7d\n", len(res.Analysis.Hosts()))
+	fmt.Printf("reduction     %7d  failed-rate > %.4f\n", len(res.Reduction.Kept), res.Reduction.Threshold)
+	fmt.Printf("θ_vol         %7d  avg bytes/flow < %.1f\n", len(res.Volume.Kept), res.Volume.Threshold)
+	fmt.Printf("θ_churn       %7d  new-IP fraction < %.4f\n", len(res.Churn.Kept), res.Churn.Threshold)
+	fmt.Printf("θ_hm          %7d  cluster spread ≤ %.4f (%d clusters, %d hosts clustered, %d skipped)\n",
+		len(res.Suspects), res.HM.Threshold, len(res.HM.Clusters), res.HM.Clustered, res.HM.Skipped)
+
+	if *verbose {
+		printSet := func(name string, set plotters.HostSet) {
+			hosts := set.Sorted()
+			strs := make([]string, len(hosts))
+			for i, h := range hosts {
+				strs[i] = h.String()
+			}
+			fmt.Printf("\n%s (%d): %s\n", name, len(hosts), strings.Join(strs, " "))
+		}
+		printSet("S (after reduction)", res.Reduction.Kept)
+		printSet("S_vol", res.Volume.Kept)
+		printSet("S_churn", res.Churn.Kept)
+	}
+
+	fmt.Printf("\nsuspected plotters (%d):\n", len(res.Suspects))
+	feats := res.Analysis.Features()
+	for _, h := range res.Suspects.Sorted() {
+		f := feats[h]
+		fmt.Printf("  %-16s flows=%-6d avgBytes/flow=%-9.1f failedRate=%.2f newIPFraction=%.2f\n",
+			h, f.Flows, f.AvgBytesPerFlow(), f.FailedRate(), f.NewPeerFraction())
+	}
+	if len(res.HM.Clusters) > 0 {
+		fmt.Printf("\nθ_hm clusters:\n")
+		clusters := append([]plotters.HMCluster(nil), res.HM.Clusters...)
+		sort.Slice(clusters, func(i, j int) bool { return clusters[i].Diameter < clusters[j].Diameter })
+		for _, c := range clusters {
+			marker := " "
+			if c.Kept {
+				marker = "*"
+			}
+			fmt.Printf("  %s size=%-4d spread=%.4f\n", marker, len(c.Hosts), c.Diameter)
+		}
+		fmt.Printf("(* = kept by τ_hm)\n")
+	}
+	return nil
+}
+
+func parseSubnets(csv string) (func(plotters.IP) bool, error) {
+	var subnets []plotters.Subnet
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		sn, err := plotters.ParseSubnet(s)
+		if err != nil {
+			return nil, err
+		}
+		subnets = append(subnets, sn)
+	}
+	if len(subnets) == 0 {
+		return nil, fmt.Errorf("no internal subnets given")
+	}
+	return func(ip plotters.IP) bool {
+		for _, sn := range subnets {
+			if sn.Contains(ip) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func readTrace(path, format string) ([]plotters.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "binary":
+		return plotters.ReadTrace(f)
+	case "csv":
+		return plotters.ReadTraceCSV(f)
+	case "jsonl":
+		return plotters.ReadTraceJSONL(f)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}

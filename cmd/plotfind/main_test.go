@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"plotters"
+)
+
+func TestParseSubnets(t *testing.T) {
+	internal, err := parseSubnets("128.2.0.0/16, 128.237.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := plotters.ParseIP("128.2.9.9")
+	out, _ := plotters.ParseIP("4.4.4.4")
+	if !internal(in) || internal(out) {
+		t.Error("membership wrong")
+	}
+	if _, err := parseSubnets("bogus"); err == nil {
+		t.Error("bad CIDR accepted")
+	}
+	if _, err := parseSubnets(" , "); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestReadTraceFormats(t *testing.T) {
+	start := time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
+	records := []plotters.Record{{
+		Src: 1, Dst: 2, SrcPort: 1, DstPort: 2, Proto: plotters.TCP,
+		Start: start, End: start.Add(time.Second),
+		SrcPkts: 1, DstPkts: 1, SrcBytes: 10, DstBytes: 10,
+		State: plotters.StateEstablished,
+	}}
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		format string
+		write  func(f *os.File) error
+	}{
+		{"binary", func(f *os.File) error { return plotters.WriteTrace(f, records) }},
+		{"csv", func(f *os.File) error { return plotters.WriteTraceCSV(f, records) }},
+		{"jsonl", func(f *os.File) error { return plotters.WriteTraceJSONL(f, records) }},
+	} {
+		path := filepath.Join(dir, "trace."+tc.format)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.write(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		got, err := readTrace(path, tc.format)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		if len(got) != 1 || got[0].Src != 1 {
+			t.Errorf("%s: round trip failed", tc.format)
+		}
+	}
+	if _, err := readTrace(filepath.Join(dir, "trace.binary"), "bogus"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := readTrace(filepath.Join(dir, "missing"), "binary"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Command synthgen synthesizes the evaluation corpus — CMU-like campus
+// days with embedded Traders, plus the Storm and Nugache honeynet
+// traces — and writes them as binary flow traces.
+//
+// Usage:
+//
+//	synthgen -out DIR [-days N] [-seed S] [-campus N] [-format binary|csv|jsonl]
+//
+// The output directory receives day-<i>.flows, storm.flows, and
+// nugache.flows (extension varies by format), plus a manifest.txt
+// describing the ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"plotters"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir  = flag.String("out", "", "output directory (required)")
+		days    = flag.Int("days", 8, "number of campus days to synthesize")
+		seed    = flag.Int64("seed", 42, "master random seed")
+		campus  = flag.Int("campus", 360, "background campus hosts per day")
+		format  = flag.String("format", "binary", "trace format: binary, csv, or jsonl")
+		gnut    = flag.Int("gnutella", 10, "Gnutella Traders per day")
+		emule   = flag.Int("emule", 12, "eMule Traders per day")
+		torrent = flag.Int("bittorrent", 20, "BitTorrent Traders per day")
+	)
+	flag.Parse()
+	if *outDir == "" {
+		flag.Usage()
+		return fmt.Errorf("-out is required")
+	}
+	ext, write, err := codec(*format)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("creating output dir: %w", err)
+	}
+
+	cfg := plotters.DefaultDatasetConfig(*seed)
+	cfg.Days = *days
+	cfg.DayTemplate.CampusHosts = *campus
+	cfg.DayTemplate.Gnutella = *gnut
+	cfg.DayTemplate.EMule = *emule
+	cfg.DayTemplate.BitTorrent = *torrent
+
+	fmt.Fprintf(os.Stderr, "synthesizing %d days (%d campus hosts, %d traders/day) + honeynet traces...\n",
+		cfg.Days, *campus, *gnut+*emule+*torrent)
+	ds, err := plotters.GenerateDataset(cfg)
+	if err != nil {
+		return err
+	}
+
+	var manifest strings.Builder
+	fmt.Fprintf(&manifest, "seed\t%d\ndays\t%d\n", *seed, cfg.Days)
+	for i, day := range ds.Days {
+		name := fmt.Sprintf("day-%d%s", i, ext)
+		if err := writeTrace(filepath.Join(*outDir, name), day.Records, write); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "day\t%d\tfile\t%s\trecords\t%d\twindow\t%s\n",
+			i, name, len(day.Records), day.Window.From.Format("2006-01-02"))
+		traders := make([]string, 0, len(day.TraderHosts))
+		for host, app := range day.TraderHosts {
+			traders = append(traders, fmt.Sprintf("%s=%s", host, app))
+		}
+		sort.Strings(traders)
+		fmt.Fprintf(&manifest, "day\t%d\ttraders\t%s\n", i, strings.Join(traders, ","))
+		fmt.Fprintf(os.Stderr, "  %s: %d records\n", name, len(day.Records))
+	}
+	for _, tr := range []struct {
+		name  string
+		trace *plotters.BotTrace
+	}{
+		{"storm", ds.Storm},
+		{"nugache", ds.Nugache},
+	} {
+		name := tr.name + ext
+		if err := writeTrace(filepath.Join(*outDir, name), tr.trace.Records, write); err != nil {
+			return err
+		}
+		bots := make([]string, len(tr.trace.Bots))
+		for i, b := range tr.trace.Bots {
+			bots[i] = b.String()
+		}
+		fmt.Fprintf(&manifest, "trace\t%s\tfile\t%s\trecords\t%d\tbots\t%s\n",
+			tr.name, name, len(tr.trace.Records), strings.Join(bots, ","))
+		fmt.Fprintf(os.Stderr, "  %s: %d records, %d bots\n", name, len(tr.trace.Records), len(tr.trace.Bots))
+	}
+	manifestPath := filepath.Join(*outDir, "manifest.txt")
+	if err := os.WriteFile(manifestPath, []byte(manifest.String()), 0o644); err != nil {
+		return fmt.Errorf("writing manifest: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", manifestPath)
+	return nil
+}
+
+type writeFunc func(f *os.File, records []plotters.Record) error
+
+func codec(format string) (string, writeFunc, error) {
+	switch format {
+	case "binary":
+		return ".flows", func(f *os.File, r []plotters.Record) error { return plotters.WriteTrace(f, r) }, nil
+	case "csv":
+		return ".csv", func(f *os.File, r []plotters.Record) error { return plotters.WriteTraceCSV(f, r) }, nil
+	case "jsonl":
+		return ".jsonl", func(f *os.File, r []plotters.Record) error { return plotters.WriteTraceJSONL(f, r) }, nil
+	default:
+		return "", nil, fmt.Errorf("unknown format %q (want binary, csv, or jsonl)", format)
+	}
+}
+
+func writeTrace(path string, records []plotters.Record, write writeFunc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	if err := write(f, records); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"plotters"
+)
+
+func TestCodec(t *testing.T) {
+	for _, tc := range []struct {
+		format string
+		ext    string
+	}{
+		{"binary", ".flows"},
+		{"csv", ".csv"},
+		{"jsonl", ".jsonl"},
+	} {
+		ext, write, err := codec(tc.format)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		if ext != tc.ext || write == nil {
+			t.Errorf("%s: ext=%q", tc.format, ext)
+		}
+	}
+	if _, _, err := codec("bogus"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	start := time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
+	records := []plotters.Record{{
+		Src: 1, Dst: 2, Proto: plotters.TCP,
+		Start: start, End: start.Add(time.Second),
+		SrcPkts: 1, DstPkts: 1, SrcBytes: 10, DstBytes: 10,
+		State: plotters.StateEstablished,
+	}}
+	_, write, err := codec("binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.flows")
+	if err := writeTrace(path, records, write); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := plotters.ReadTrace(f)
+	if err != nil || len(got) != 1 {
+		t.Errorf("round trip: %d records, %v", len(got), err)
+	}
+	// Unwritable path errors.
+	if err := writeTrace(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), records, write); err == nil {
+		t.Error("bad path accepted")
+	}
+}

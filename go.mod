@@ -1,0 +1,3 @@
+module plotters
+
+go 1.22

@@ -1,0 +1,296 @@
+// Package argus implements the flow-monitor substrate the paper's data
+// collection relies on: an Argus-style assembler that groups packets
+// into bi-directional flow records under the RTFM flow model (RFC 2722).
+// Packets sharing a 5-tuple (with source/destination swappable) become
+// one record whose source is the connection initiator, with per-direction
+// packet/byte counters, connection-outcome state, and the first payload
+// bytes captured — exactly the fields the detection pipeline consumes.
+//
+// The traffic synthesizers emit flow records directly for speed; this
+// package exists for completeness of the substrate (ingesting real
+// packet feeds) and is exercised against the synthesizers' records in
+// tests.
+package argus
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+// Packet is one observed packet at the monitoring point.
+type Packet struct {
+	Time    time.Time
+	Src     flow.IP
+	Dst     flow.IP
+	SrcPort uint16
+	DstPort uint16
+	Proto   flow.Proto
+	// Bytes is the packet's wire length (headers included), as a flow
+	// monitor counts.
+	Bytes uint32
+	// TCP control flags (ignored for UDP).
+	SYN, ACK, FIN, RST bool
+	// Payload is the packet's leading payload bytes, if captured.
+	Payload []byte
+}
+
+// Config tunes the assembler.
+type Config struct {
+	// IdleTimeout expires a flow after this much inactivity; subsequent
+	// packets of the same 5-tuple open a new record (Argus's flow status
+	// timer).
+	IdleTimeout time.Duration
+	// PayloadBytes caps the captured payload prefix (Argus captures 64
+	// in the paper's deployment).
+	PayloadBytes int
+}
+
+// DefaultConfig mirrors the paper's Argus deployment.
+func DefaultConfig() Config {
+	return Config{IdleTimeout: 2 * time.Minute, PayloadBytes: flow.MaxPayload}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.IdleTimeout <= 0 {
+		return fmt.Errorf("argus: IdleTimeout must be positive, got %v", c.IdleTimeout)
+	}
+	if c.PayloadBytes < 0 || c.PayloadBytes > flow.MaxPayload {
+		return fmt.Errorf("argus: PayloadBytes %d outside [0,%d]", c.PayloadBytes, flow.MaxPayload)
+	}
+	return nil
+}
+
+// tupleKey identifies a conversation regardless of direction: the
+// endpoints are ordered so both directions map to the same key.
+type tupleKey struct {
+	loIP, hiIP     flow.IP
+	loPort, hiPort uint16
+	proto          flow.Proto
+}
+
+func keyOf(p *Packet) tupleKey {
+	if p.Src < p.Dst || (p.Src == p.Dst && p.SrcPort <= p.DstPort) {
+		return tupleKey{p.Src, p.Dst, p.SrcPort, p.DstPort, p.Proto}
+	}
+	return tupleKey{p.Dst, p.Src, p.DstPort, p.SrcPort, p.Proto}
+}
+
+// flowState is one in-progress conversation.
+type flowState struct {
+	key       tupleKey
+	initiator flow.IP
+	initPort  uint16
+	respPort  uint16
+	responder flow.IP
+	proto     flow.Proto
+	start     time.Time
+	last      time.Time
+	srcPkts   uint32
+	dstPkts   uint32
+	srcBytes  uint64
+	dstBytes  uint64
+	payload   []byte
+
+	sawSYN     bool // initiator SYN observed
+	sawSYNACK  bool // responder SYN+ACK observed
+	sawRST     bool
+	respPkts   bool // any responder packet at all
+	heapIdx    int
+	generation uint64
+}
+
+// Assembler turns a time-ordered packet stream into flow records.
+type Assembler struct {
+	cfg        Config
+	emit       func(flow.Record)
+	flows      map[tupleKey]*flowState
+	expiry     expiryHeap
+	lastSeen   time.Time
+	started    bool
+	generation uint64
+}
+
+// New creates an assembler; emit receives each completed record.
+func New(cfg Config, emit func(flow.Record)) (*Assembler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("argus: emit callback required")
+	}
+	return &Assembler{cfg: cfg, emit: emit, flows: make(map[tupleKey]*flowState)}, nil
+}
+
+// Observe folds one packet into the flow table. Packets must arrive in
+// non-decreasing time order (a flow monitor sees them that way).
+func (a *Assembler) Observe(p Packet) error {
+	if a.started && p.Time.Before(a.lastSeen) {
+		return fmt.Errorf("argus: packet at %v precedes %v; stream must be time-ordered", p.Time, a.lastSeen)
+	}
+	if p.Proto != flow.TCP && p.Proto != flow.UDP && p.Proto != flow.ICMP {
+		return fmt.Errorf("argus: unsupported protocol %d", p.Proto)
+	}
+	a.lastSeen = p.Time
+	a.started = true
+	a.expireBefore(p.Time)
+
+	key := keyOf(&p)
+	st, ok := a.flows[key]
+	if !ok {
+		st = a.open(key, &p)
+	}
+	a.update(st, &p)
+	return nil
+}
+
+// open starts a new flow; the first packet's sender is the initiator
+// (for TCP, a bare SYN is authoritative).
+func (a *Assembler) open(key tupleKey, p *Packet) *flowState {
+	a.generation++
+	st := &flowState{
+		key:        key,
+		initiator:  p.Src,
+		initPort:   p.SrcPort,
+		responder:  p.Dst,
+		respPort:   p.DstPort,
+		proto:      p.Proto,
+		start:      p.Time,
+		last:       p.Time,
+		generation: a.generation,
+	}
+	a.flows[key] = st
+	heap.Push(&a.expiry, st)
+	return st
+}
+
+// update folds a packet into its flow.
+func (a *Assembler) update(st *flowState, p *Packet) {
+	st.last = p.Time
+	a.expiry.fix(st)
+	fromInitiator := p.Src == st.initiator && p.SrcPort == st.initPort
+	if fromInitiator {
+		st.srcPkts++
+		st.srcBytes += uint64(p.Bytes)
+		if len(st.payload) < a.cfg.PayloadBytes && len(p.Payload) > 0 {
+			room := a.cfg.PayloadBytes - len(st.payload)
+			if room > len(p.Payload) {
+				room = len(p.Payload)
+			}
+			st.payload = append(st.payload, p.Payload[:room]...)
+		}
+		if p.SYN && !p.ACK {
+			st.sawSYN = true
+		}
+	} else {
+		st.dstPkts++
+		st.dstBytes += uint64(p.Bytes)
+		st.respPkts = true
+		if p.SYN && p.ACK {
+			st.sawSYNACK = true
+		}
+	}
+	if p.RST {
+		st.sawRST = true
+	}
+}
+
+// expireBefore emits every flow idle since before now−IdleTimeout.
+func (a *Assembler) expireBefore(now time.Time) {
+	deadline := now.Add(-a.cfg.IdleTimeout)
+	for len(a.expiry) > 0 {
+		oldest := a.expiry[0]
+		if oldest.last.After(deadline) {
+			return
+		}
+		heap.Pop(&a.expiry)
+		delete(a.flows, oldest.key)
+		a.emit(a.record(oldest))
+	}
+}
+
+// Flush expires every outstanding flow (end of capture).
+func (a *Assembler) Flush() {
+	for len(a.expiry) > 0 {
+		st := heap.Pop(&a.expiry).(*flowState)
+		delete(a.flows, st.key)
+		a.emit(a.record(st))
+	}
+}
+
+// Open returns the number of in-progress flows.
+func (a *Assembler) Open() int { return len(a.flows) }
+
+// record converts a finished flow state into a Record. Outcome: a TCP
+// conversation is established once the responder completed the handshake
+// (or sent data); a reset or unanswered attempt is failed. A UDP exchange
+// is established once the responder answered.
+func (a *Assembler) record(st *flowState) flow.Record {
+	state := flow.StateFailed
+	switch st.proto {
+	case flow.TCP:
+		if st.sawSYNACK || (st.respPkts && !st.sawRST) {
+			state = flow.StateEstablished
+		}
+	default:
+		if st.respPkts {
+			state = flow.StateEstablished
+		}
+	}
+	return flow.Record{
+		Src:      st.initiator,
+		Dst:      st.responder,
+		SrcPort:  st.initPort,
+		DstPort:  st.respPort,
+		Proto:    st.proto,
+		Start:    st.start,
+		End:      st.last,
+		SrcPkts:  st.srcPkts,
+		DstPkts:  st.dstPkts,
+		SrcBytes: st.srcBytes,
+		DstBytes: st.dstBytes,
+		State:    state,
+		Payload:  st.payload,
+	}
+}
+
+// expiryHeap orders open flows by last activity so expiry is O(log n).
+type expiryHeap []*flowState
+
+func (h expiryHeap) Len() int { return len(h) }
+
+func (h expiryHeap) Less(i, j int) bool {
+	if !h[i].last.Equal(h[j].last) {
+		return h[i].last.Before(h[j].last)
+	}
+	return h[i].generation < h[j].generation
+}
+
+func (h expiryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *expiryHeap) Push(x any) {
+	st := x.(*flowState)
+	st.heapIdx = len(*h)
+	*h = append(*h, st)
+}
+
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	st := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return st
+}
+
+// fix restores heap order after a flow's last-activity time advanced.
+func (h *expiryHeap) fix(st *flowState) {
+	heap.Fix(h, st.heapIdx)
+}

@@ -1,0 +1,417 @@
+package argus
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+func t0() time.Time {
+	return time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
+}
+
+// collector gathers emitted records.
+type collector struct {
+	records []flow.Record
+}
+
+func (c *collector) emit(r flow.Record) { c.records = append(c.records, r) }
+
+func newAssembler(t *testing.T) (*Assembler, *collector) {
+	t.Helper()
+	var c collector
+	a, err := New(DefaultConfig(), c.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-bind emit to the collector (closure over &c).
+	a.emit = c.emit
+	return a, &c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{IdleTimeout: 0, PayloadBytes: 10},
+		{IdleTimeout: time.Minute, PayloadBytes: -1},
+		{IdleTimeout: time.Minute, PayloadBytes: flow.MaxPayload + 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}
+
+// tcpConversation emits a full handshake + data exchange.
+func tcpConversation(a *Assembler, t *testing.T, start time.Time, cli, srv flow.IP, cliPort, srvPort uint16, payload []byte) {
+	t.Helper()
+	pkts := []Packet{
+		{Time: start, Src: cli, Dst: srv, SrcPort: cliPort, DstPort: srvPort, Proto: flow.TCP, Bytes: 60, SYN: true},
+		{Time: start.Add(10 * time.Millisecond), Src: srv, Dst: cli, SrcPort: srvPort, DstPort: cliPort, Proto: flow.TCP, Bytes: 60, SYN: true, ACK: true},
+		{Time: start.Add(20 * time.Millisecond), Src: cli, Dst: srv, SrcPort: cliPort, DstPort: srvPort, Proto: flow.TCP, Bytes: 40, ACK: true},
+		{Time: start.Add(30 * time.Millisecond), Src: cli, Dst: srv, SrcPort: cliPort, DstPort: srvPort, Proto: flow.TCP, Bytes: 500, ACK: true, Payload: payload},
+		{Time: start.Add(40 * time.Millisecond), Src: srv, Dst: cli, SrcPort: srvPort, DstPort: cliPort, Proto: flow.TCP, Bytes: 1500, ACK: true},
+		{Time: start.Add(50 * time.Millisecond), Src: cli, Dst: srv, SrcPort: cliPort, DstPort: srvPort, Proto: flow.TCP, Bytes: 40, FIN: true, ACK: true},
+	}
+	for _, p := range pkts {
+		if err := a.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPEstablished(t *testing.T) {
+	a, c := newAssembler(t)
+	tcpConversation(a, t, t0(), 1, 2, 40000, 80, []byte("GET / HTTP/1.1"))
+	a.Flush()
+	if len(c.records) != 1 {
+		t.Fatalf("records = %d", len(c.records))
+	}
+	r := c.records[0]
+	if r.State != flow.StateEstablished {
+		t.Error("handshake conversation not established")
+	}
+	if r.Src != 1 || r.Dst != 2 || r.SrcPort != 40000 || r.DstPort != 80 {
+		t.Errorf("direction wrong: %v", &r)
+	}
+	if r.SrcPkts != 4 || r.DstPkts != 2 {
+		t.Errorf("pkts = %d/%d, want 4/2", r.SrcPkts, r.DstPkts)
+	}
+	if r.SrcBytes != 640 || r.DstBytes != 1560 {
+		t.Errorf("bytes = %d/%d, want 640/1560", r.SrcBytes, r.DstBytes)
+	}
+	if string(r.Payload) != "GET / HTTP/1.1" {
+		t.Errorf("payload = %q", r.Payload)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("invalid record: %v", err)
+	}
+}
+
+func TestTCPFailedSYNOnly(t *testing.T) {
+	a, c := newAssembler(t)
+	for i := 0; i < 3; i++ {
+		err := a.Observe(Packet{
+			Time: t0().Add(time.Duration(i) * time.Second),
+			Src:  1, Dst: 2, SrcPort: 40000, DstPort: 80, Proto: flow.TCP, Bytes: 60, SYN: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	if len(c.records) != 1 {
+		t.Fatalf("records = %d", len(c.records))
+	}
+	r := c.records[0]
+	if r.State != flow.StateFailed {
+		t.Error("unanswered SYNs not failed")
+	}
+	if r.SrcPkts != 3 || r.DstPkts != 0 || r.SrcBytes != 180 {
+		t.Errorf("counters = %d/%d %d bytes", r.SrcPkts, r.DstPkts, r.SrcBytes)
+	}
+}
+
+func TestTCPReset(t *testing.T) {
+	a, c := newAssembler(t)
+	pkts := []Packet{
+		{Time: t0(), Src: 1, Dst: 2, SrcPort: 40000, DstPort: 80, Proto: flow.TCP, Bytes: 60, SYN: true},
+		{Time: t0().Add(time.Millisecond), Src: 2, Dst: 1, SrcPort: 80, DstPort: 40000, Proto: flow.TCP, Bytes: 40, RST: true},
+	}
+	for _, p := range pkts {
+		if err := a.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	if c.records[0].State != flow.StateFailed {
+		t.Error("refused connection not failed")
+	}
+}
+
+func TestUDPExchange(t *testing.T) {
+	a, c := newAssembler(t)
+	// Answered query: established.
+	if err := a.Observe(Packet{Time: t0(), Src: 1, Dst: 2, SrcPort: 5000, DstPort: 53, Proto: flow.UDP, Bytes: 76, Payload: []byte{0xe3, 0x01}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(Packet{Time: t0().Add(5 * time.Millisecond), Src: 2, Dst: 1, SrcPort: 53, DstPort: 5000, Proto: flow.UDP, Bytes: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Unanswered query to another host: failed.
+	if err := a.Observe(Packet{Time: t0().Add(time.Second), Src: 1, Dst: 3, SrcPort: 5001, DstPort: 7871, Proto: flow.UDP, Bytes: 90}); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if len(c.records) != 2 {
+		t.Fatalf("records = %d", len(c.records))
+	}
+	var answered, silent *flow.Record
+	for i := range c.records {
+		if c.records[i].Dst == 2 {
+			answered = &c.records[i]
+		} else {
+			silent = &c.records[i]
+		}
+	}
+	if answered == nil || answered.State != flow.StateEstablished {
+		t.Error("answered UDP not established")
+	}
+	if silent == nil || silent.State != flow.StateFailed {
+		t.Error("unanswered UDP not failed")
+	}
+	if string(answered.Payload) != string([]byte{0xe3, 0x01}) {
+		t.Errorf("payload = %v", answered.Payload)
+	}
+}
+
+func TestIdleTimeoutSplitsFlows(t *testing.T) {
+	var c collector
+	cfg := DefaultConfig()
+	cfg.IdleTimeout = 30 * time.Second
+	a, err := New(cfg, c.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.emit = c.emit
+	send := func(at time.Time) {
+		if err := a.Observe(Packet{Time: at, Src: 1, Dst: 2, SrcPort: 5000, DstPort: 8, Proto: flow.TCP, Bytes: 100, SYN: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Observe(Packet{Time: at.Add(time.Millisecond), Src: 2, Dst: 1, SrcPort: 8, DstPort: 5000, Proto: flow.TCP, Bytes: 100, SYN: true, ACK: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(t0())
+	send(t0().Add(5 * time.Minute)) // far past the idle timeout
+	a.Flush()
+	if len(c.records) != 2 {
+		t.Fatalf("records = %d, want 2 (idle split)", len(c.records))
+	}
+	if !c.records[0].End.Before(c.records[1].Start) {
+		t.Error("split flows overlap")
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	a, _ := newAssembler(t)
+	if err := a.Observe(Packet{Time: t0(), Src: 1, Dst: 2, Proto: flow.UDP, Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(Packet{Time: t0().Add(-time.Second), Src: 1, Dst: 2, Proto: flow.UDP, Bytes: 10}); err == nil {
+		t.Error("out-of-order packet accepted")
+	}
+	if err := a.Observe(Packet{Time: t0(), Src: 1, Dst: 2, Proto: 99, Bytes: 10}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestPayloadCap(t *testing.T) {
+	a, c := newAssembler(t)
+	big := make([]byte, 50)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	at := t0()
+	for i := 0; i < 3; i++ {
+		if err := a.Observe(Packet{Time: at, Src: 1, Dst: 2, SrcPort: 1, DstPort: 2, Proto: flow.UDP, Bytes: 100, Payload: big}); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	a.Flush()
+	if got := len(c.records[0].Payload); got != flow.MaxPayload {
+		t.Errorf("payload = %d bytes, want capped at %d", got, flow.MaxPayload)
+	}
+}
+
+// Property: interleaved conversations assemble into per-flow totals that
+// match what was sent, regardless of interleaving.
+func TestInterleavedConversations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var c collector
+	a, err := New(DefaultConfig(), c.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.emit = c.emit
+
+	const convs = 30
+	type conv struct {
+		cli, srv         flow.IP
+		cliPort          uint16
+		sentUp, sentDown uint64
+		pktsUp, pktsDown uint32
+	}
+	cs := make([]conv, convs)
+	for i := range cs {
+		cs[i] = conv{cli: flow.IP(100 + i), srv: flow.IP(200 + i%5), cliPort: uint16(10000 + i)}
+	}
+	at := t0()
+	for step := 0; step < 2000; step++ {
+		i := rng.Intn(convs)
+		c := &cs[i]
+		up := rng.Intn(2) == 0
+		bytes := uint32(40 + rng.Intn(1400))
+		p := Packet{Time: at, Proto: flow.TCP, Bytes: bytes, ACK: true}
+		if up {
+			p.Src, p.Dst, p.SrcPort, p.DstPort = c.cli, c.srv, c.cliPort, 80
+			c.sentUp += uint64(bytes)
+			c.pktsUp++
+		} else {
+			p.Src, p.Dst, p.SrcPort, p.DstPort = c.srv, c.cli, 80, c.cliPort
+			c.sentDown += uint64(bytes)
+			c.pktsDown++
+		}
+		if err := a.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Duration(rng.Intn(50)) * time.Millisecond)
+	}
+	a.Flush()
+	// Aggregate per conversation (idle splits merge back in totals).
+	type totals struct {
+		up, down   uint64
+		pUp, pDown uint32
+	}
+	got := make(map[flow.IP]*totals)
+	for _, r := range c.records {
+		key := r.Src
+		swap := false
+		if r.Src >= 200 { // responder opened the record (first packet was downstream)
+			key = r.Dst
+			swap = true
+		}
+		tt := got[key]
+		if tt == nil {
+			tt = &totals{}
+			got[key] = tt
+		}
+		if swap {
+			tt.up += r.DstBytes
+			tt.down += r.SrcBytes
+			tt.pUp += r.DstPkts
+			tt.pDown += r.SrcPkts
+		} else {
+			tt.up += r.SrcBytes
+			tt.down += r.DstBytes
+			tt.pUp += r.SrcPkts
+			tt.pDown += r.DstPkts
+		}
+	}
+	for _, cv := range cs {
+		tt := got[cv.cli]
+		if tt == nil {
+			if cv.pktsUp+cv.pktsDown > 0 {
+				t.Fatalf("conversation %v missing", cv.cli)
+			}
+			continue
+		}
+		if tt.up != cv.sentUp || tt.down != cv.sentDown || tt.pUp != cv.pktsUp || tt.pDown != cv.pktsDown {
+			t.Fatalf("conversation %v totals mismatch: got %+v want up=%d down=%d pUp=%d pDown=%d",
+				cv.cli, tt, cv.sentUp, cv.sentDown, cv.pktsUp, cv.pktsDown)
+		}
+	}
+}
+
+func TestOpenCount(t *testing.T) {
+	a, _ := newAssembler(t)
+	if a.Open() != 0 {
+		t.Error("fresh assembler has open flows")
+	}
+	if err := a.Observe(Packet{Time: t0(), Src: 1, Dst: 2, Proto: flow.UDP, Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Open() != 1 {
+		t.Errorf("open = %d", a.Open())
+	}
+	a.Flush()
+	if a.Open() != 0 {
+		t.Error("flush left open flows")
+	}
+}
+
+func BenchmarkAssembler(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	pkts := make([]Packet, 50_000)
+	at := t0()
+	for i := range pkts {
+		pkts[i] = Packet{
+			Time: at, Src: flow.IP(rng.Intn(200)), Dst: flow.IP(1000 + rng.Intn(500)),
+			SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 80,
+			Proto: flow.TCP, Bytes: uint32(40 + rng.Intn(1400)), ACK: true,
+		}
+		at = at.Add(time.Duration(rng.Intn(10)) * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := New(DefaultConfig(), func(flow.Record) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range pkts {
+			if err := a.Observe(pkts[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		a.Flush()
+	}
+}
+
+func TestICMPFlow(t *testing.T) {
+	a, c := newAssembler(t)
+	// Echo request/reply pair: ICMP uses the UDP-style outcome rule.
+	if err := a.Observe(Packet{Time: t0(), Src: 1, Dst: 2, Proto: flow.ICMP, Bytes: 84}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(Packet{Time: t0().Add(time.Millisecond), Src: 2, Dst: 1, Proto: flow.ICMP, Bytes: 84}); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if len(c.records) != 1 || c.records[0].State != flow.StateEstablished {
+		t.Errorf("ICMP exchange = %+v", c.records)
+	}
+}
+
+func TestEmittedRecordsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var c collector
+	a, err := New(DefaultConfig(), c.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.emit = c.emit
+	at := t0()
+	for i := 0; i < 5000; i++ {
+		p := Packet{
+			Time: at, Src: flow.IP(rng.Intn(50)), Dst: flow.IP(100 + rng.Intn(50)),
+			SrcPort: uint16(rng.Intn(3)), DstPort: uint16(rng.Intn(3)),
+			Proto: []flow.Proto{flow.TCP, flow.UDP}[rng.Intn(2)],
+			Bytes: uint32(40 + rng.Intn(1000)),
+			SYN:   rng.Intn(3) == 0, ACK: rng.Intn(2) == 0, RST: rng.Intn(20) == 0,
+		}
+		if err := a.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Duration(rng.Intn(2000)) * time.Millisecond)
+	}
+	a.Flush()
+	for i := range c.records {
+		if err := c.records[i].Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+	}
+	if len(c.records) == 0 {
+		t.Fatal("no records assembled")
+	}
+}

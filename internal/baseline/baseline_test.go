@@ -1,0 +1,230 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+func t0() time.Time {
+	return time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
+}
+
+func rec(src, dst flow.IP, at time.Time, state flow.ConnState) flow.Record {
+	return flow.Record{
+		Src: src, Dst: dst, SrcPort: 4000, DstPort: 80, Proto: flow.TCP,
+		Start: at, End: at.Add(time.Second),
+		SrcPkts: 1, DstPkts: 1, SrcBytes: 100, DstBytes: 100, State: state,
+	}
+}
+
+func TestTDGConfigValidate(t *testing.T) {
+	good := DefaultTDGConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TDGConfig{
+		{MinAvgDegree: 0, MinInOutFraction: 0.1, MinComponentSize: 5},
+		{MinAvgDegree: 2, MinInOutFraction: -1, MinComponentSize: 5},
+		{MinAvgDegree: 2, MinInOutFraction: 2, MinComponentSize: 5},
+		{MinAvgDegree: 2, MinInOutFraction: 0.1, MinComponentSize: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestTDGSeparatesShapes builds two components: a client-server star
+// (hub with many one-way clients) and a P2P mesh where peers both
+// initiate and accept. Only the mesh must be flagged.
+func TestTDGSeparatesShapes(t *testing.T) {
+	var records []flow.Record
+	at := t0()
+
+	// Star: 20 clients -> one server; clients never accept.
+	server := flow.MakeIP(9, 9, 9, 9)
+	for i := 0; i < 20; i++ {
+		client := flow.MakeIP(128, 2, 0, byte(i+1))
+		records = append(records, rec(client, server, at, flow.StateEstablished))
+	}
+
+	// Mesh: 15 peers (5 internal, 10 external), random bidirectional
+	// pairs; every peer initiates and accepts.
+	rng := rand.New(rand.NewSource(1))
+	peers := make([]flow.IP, 15)
+	for i := range peers {
+		if i < 5 {
+			peers[i] = flow.MakeIP(128, 2, 1, byte(i+1))
+		} else {
+			peers[i] = flow.MakeIP(66, 1, 1, byte(i+1))
+		}
+	}
+	for i, p := range peers {
+		next := peers[(i+1)%len(peers)]
+		records = append(records, rec(p, next, at, flow.StateEstablished))
+		for k := 0; k < 3; k++ {
+			q := peers[rng.Intn(len(peers))]
+			if q != p {
+				records = append(records, rec(p, q, at, flow.StateEstablished))
+			}
+		}
+	}
+
+	internal := flow.MustParseSubnet("128.2.0.0/16")
+	res, err := TDG(records, internal.Contains, DefaultTDGConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 2 {
+		t.Fatalf("components = %d, want 2", len(res.Components))
+	}
+	// The five internal mesh peers are flagged; no star client is.
+	for i := 0; i < 5; i++ {
+		if !res.P2PHosts[flow.MakeIP(128, 2, 1, byte(i+1))] {
+			t.Errorf("mesh peer %d not flagged", i+1)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if res.P2PHosts[flow.MakeIP(128, 2, 0, byte(i+1))] {
+			t.Errorf("star client %d flagged", i+1)
+		}
+	}
+	// External mesh peers are not reported (internal filter).
+	if res.P2PHosts[flow.MakeIP(66, 1, 1, 6)] {
+		t.Error("external peer reported")
+	}
+}
+
+func TestTDGIgnoresFailedAndSmall(t *testing.T) {
+	var records []flow.Record
+	at := t0()
+	// A large all-failed mesh contributes nothing.
+	for i := 0; i < 20; i++ {
+		records = append(records, rec(flow.MakeIP(128, 2, 2, byte(i+1)), flow.MakeIP(7, 7, 7, byte(i+2)), at, flow.StateFailed))
+	}
+	// A tiny component below MinComponentSize.
+	records = append(records, rec(flow.MakeIP(128, 2, 3, 1), flow.MakeIP(8, 8, 8, 8), at, flow.StateEstablished))
+	res, err := TDG(records, nil, DefaultTDGConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 0 || len(res.P2PHosts) != 0 {
+		t.Errorf("unexpected detection: %+v", res)
+	}
+}
+
+func TestPersistenceConfigValidate(t *testing.T) {
+	good := DefaultPersistenceConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PersistenceConfig{
+		{Slices: 1, MinPersistence: 0.5, WhitelistHostFrac: 0.1},
+		{Slices: 10, MinPersistence: 0, WhitelistHostFrac: 0.1},
+		{Slices: 10, MinPersistence: 1.5, WhitelistHostFrac: 0.1},
+		{Slices: 10, MinPersistence: 0.5, WhitelistHostFrac: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPersistenceFlagsRegularContact(t *testing.T) {
+	window := flow.Window{From: t0(), To: t0().Add(6 * time.Hour)}
+	var records []flow.Record
+
+	// Host 1 contacts a C&C every 10 minutes all day (persistent).
+	cnc := flow.MakeIP(6, 6, 6, 6)
+	for at := t0(); at.Before(window.To); at = at.Add(10 * time.Minute) {
+		records = append(records, rec(flow.MakeIP(128, 2, 0, 1), cnc, at, flow.StateEstablished))
+	}
+	// Host 2 contacts many destinations once (bursty browsing).
+	for i := 0; i < 50; i++ {
+		records = append(records, rec(flow.MakeIP(128, 2, 0, 2), flow.MakeIP(10, 1, 1, byte(i+1)), t0().Add(time.Duration(i)*time.Minute), flow.StateEstablished))
+	}
+	// Twenty hosts all persistently contact the same mail server — the
+	// whitelist must suppress it.
+	mail := flow.MakeIP(5, 5, 5, 5)
+	for h := 0; h < 20; h++ {
+		for at := t0(); at.Before(window.To); at = at.Add(15 * time.Minute) {
+			records = append(records, rec(flow.MakeIP(128, 2, 1, byte(h+1)), mail, at, flow.StateEstablished))
+		}
+	}
+
+	internal := flow.MustParseSubnet("128.2.0.0/16")
+	res, err := Persistence(records, window, internal.Contains, DefaultPersistenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged[flow.MakeIP(128, 2, 0, 1)] {
+		t.Error("persistent C&C host not flagged")
+	}
+	if res.Flagged[flow.MakeIP(128, 2, 0, 2)] {
+		t.Error("bursty browser flagged")
+	}
+	if res.Flagged[flow.MakeIP(128, 2, 1, 1)] {
+		t.Error("whitelisted mail polling flagged")
+	}
+	if res.Whitelisted == 0 {
+		t.Error("mail server not whitelisted")
+	}
+	if len(res.Pairs) == 0 || res.Pairs[0].Dst != cnc {
+		t.Errorf("pairs = %+v", res.Pairs)
+	}
+}
+
+func TestPersistenceEmpty(t *testing.T) {
+	window := flow.Window{From: t0(), To: t0().Add(time.Hour)}
+	res, err := Persistence(nil, window, nil, DefaultPersistenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flagged) != 0 {
+		t.Error("flags from no records")
+	}
+	if _, err := Persistence(nil, flow.Window{}, nil, DefaultPersistenceConfig()); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestFailedConn(t *testing.T) {
+	var records []flow.Record
+	at := t0()
+	// Host 1: 50% failures over 40 flows.
+	for i := 0; i < 40; i++ {
+		state := flow.StateEstablished
+		if i%2 == 0 {
+			state = flow.StateFailed
+		}
+		records = append(records, rec(1, flow.IP(100+uint32(i)), at.Add(time.Duration(i)*time.Minute), state))
+	}
+	// Host 2: 5% failures.
+	for i := 0; i < 40; i++ {
+		state := flow.StateEstablished
+		if i%20 == 0 {
+			state = flow.StateFailed
+		}
+		records = append(records, rec(2, flow.IP(200+uint32(i)), at.Add(time.Duration(i)*time.Minute), state))
+	}
+	// Host 3: high rate but too few flows.
+	for i := 0; i < 5; i++ {
+		records = append(records, rec(3, flow.IP(300+uint32(i)), at, flow.StateFailed))
+	}
+	got, err := FailedConn(records, nil, DefaultFailedConnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[1] || got[2] || got[3] {
+		t.Errorf("flagged = %v", got)
+	}
+	bad := FailedConnConfig{MinFailedRate: 0, MinFlows: 1}
+	if _, err := FailedConn(records, nil, bad); err == nil {
+		t.Error("bad config accepted")
+	}
+}

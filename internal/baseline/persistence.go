@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+// PersistenceConfig parameterizes the Giroire-style detector: the
+// observation window is sliced into equal sub-windows, each (host,
+// destination) pair's *persistence* is the fraction of sub-windows in
+// which the host contacted the destination, and hosts maintaining
+// highly persistent destinations beyond a whitelist are flagged.
+type PersistenceConfig struct {
+	// Slices is the number of equal sub-windows the observation window
+	// is divided into.
+	Slices int
+	// MinPersistence flags a destination contacted in at least this
+	// fraction of sub-windows.
+	MinPersistence float64
+	// Whitelist drops destinations that are persistent for many hosts
+	// (the paper notes this detector *requires* whitelisting common
+	// sites): any destination persistent for more than WhitelistHostFrac
+	// of the analyzed hosts is assumed benign infrastructure.
+	WhitelistHostFrac float64
+}
+
+// DefaultPersistenceConfig mirrors the published operating point
+// (hour-scale slices, high persistence).
+func DefaultPersistenceConfig() PersistenceConfig {
+	return PersistenceConfig{
+		Slices:            12,
+		MinPersistence:    0.6,
+		WhitelistHostFrac: 0.1,
+	}
+}
+
+// Validate checks the configuration.
+func (c *PersistenceConfig) Validate() error {
+	if c.Slices < 2 {
+		return fmt.Errorf("baseline: Slices must be >= 2, got %d", c.Slices)
+	}
+	if c.MinPersistence <= 0 || c.MinPersistence > 1 {
+		return fmt.Errorf("baseline: MinPersistence %v outside (0,1]", c.MinPersistence)
+	}
+	if c.WhitelistHostFrac < 0 || c.WhitelistHostFrac > 1 {
+		return fmt.Errorf("baseline: WhitelistHostFrac %v outside [0,1]", c.WhitelistHostFrac)
+	}
+	return nil
+}
+
+// PersistentPair is one flagged (host, destination) relationship.
+type PersistentPair struct {
+	Host        flow.IP
+	Dst         flow.IP
+	Persistence float64
+}
+
+// PersistenceResult is the detector's outcome.
+type PersistenceResult struct {
+	// Flagged are internal hosts that maintain at least one persistent,
+	// non-whitelisted destination.
+	Flagged map[flow.IP]bool
+	// Pairs lists the flagged relationships (sorted by host, then dst).
+	Pairs []PersistentPair
+	// Whitelisted counts destinations suppressed as common
+	// infrastructure.
+	Whitelisted int
+}
+
+// Persistence runs the persistent-connection detector over one window.
+// internal selects monitored initiators (nil = all).
+func Persistence(records []flow.Record, window flow.Window, internal func(flow.IP) bool, cfg PersistenceConfig) (*PersistenceResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if window.Duration() <= 0 {
+		return nil, fmt.Errorf("baseline: empty window")
+	}
+	sliceLen := window.Duration() / time.Duration(cfg.Slices)
+	if sliceLen <= 0 {
+		return nil, fmt.Errorf("baseline: window too short for %d slices", cfg.Slices)
+	}
+
+	type pair struct{ host, dst flow.IP }
+	seen := make(map[pair]map[int]bool)
+	hosts := make(map[flow.IP]bool)
+	for i := range records {
+		r := &records[i]
+		if !window.Contains(r.Start) {
+			continue
+		}
+		if internal != nil && !internal(r.Src) {
+			continue
+		}
+		hosts[r.Src] = true
+		slice := int(r.Start.Sub(window.From) / sliceLen)
+		if slice >= cfg.Slices {
+			slice = cfg.Slices - 1
+		}
+		key := pair{r.Src, r.Dst}
+		if seen[key] == nil {
+			seen[key] = make(map[int]bool)
+		}
+		seen[key][slice] = true
+	}
+	if len(hosts) == 0 {
+		return &PersistenceResult{Flagged: map[flow.IP]bool{}}, nil
+	}
+
+	// Candidate persistent pairs, and per-destination host counts for
+	// whitelisting.
+	persistentHostsPerDst := make(map[flow.IP]int)
+	var candidates []PersistentPair
+	for key, slices := range seen {
+		p := float64(len(slices)) / float64(cfg.Slices)
+		if p >= cfg.MinPersistence {
+			candidates = append(candidates, PersistentPair{Host: key.host, Dst: key.dst, Persistence: p})
+			persistentHostsPerDst[key.dst]++
+		}
+	}
+	whitelistAt := cfg.WhitelistHostFrac * float64(len(hosts))
+
+	result := &PersistenceResult{Flagged: make(map[flow.IP]bool)}
+	for _, cand := range candidates {
+		if float64(persistentHostsPerDst[cand.Dst]) > whitelistAt {
+			continue
+		}
+		result.Flagged[cand.Host] = true
+		result.Pairs = append(result.Pairs, cand)
+	}
+	for dst, n := range persistentHostsPerDst {
+		if float64(n) > whitelistAt {
+			result.Whitelisted++
+			_ = dst
+		}
+	}
+	sort.Slice(result.Pairs, func(i, j int) bool {
+		if result.Pairs[i].Host != result.Pairs[j].Host {
+			return result.Pairs[i].Host < result.Pairs[j].Host
+		}
+		return result.Pairs[i].Dst < result.Pairs[j].Dst
+	})
+	return result, nil
+}
+
+// FailedConnConfig parameterizes the coarse failed-connection P2P
+// identifier.
+type FailedConnConfig struct {
+	// MinFailedRate flags hosts whose failed-connection rate exceeds it.
+	MinFailedRate float64
+	// MinFlows requires a minimum number of initiated flows.
+	MinFlows int
+}
+
+// DefaultFailedConnConfig mirrors the published heuristics (~25%).
+func DefaultFailedConnConfig() FailedConnConfig {
+	return FailedConnConfig{MinFailedRate: 0.25, MinFlows: 20}
+}
+
+// Validate checks the configuration.
+func (c *FailedConnConfig) Validate() error {
+	if c.MinFailedRate <= 0 || c.MinFailedRate >= 1 {
+		return fmt.Errorf("baseline: MinFailedRate %v outside (0,1)", c.MinFailedRate)
+	}
+	if c.MinFlows < 1 {
+		return fmt.Errorf("baseline: MinFlows must be >= 1, got %d", c.MinFlows)
+	}
+	return nil
+}
+
+// FailedConn flags hosts whose failed-connection rate marks them as
+// likely P2P participants — Traders *and* Plotters alike, which is
+// precisely why the paper uses it only as a reduction step.
+func FailedConn(records []flow.Record, internal func(flow.IP) bool, cfg FailedConnConfig) (map[flow.IP]bool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	feats := flow.ExtractFeatures(records, flow.FeatureOptions{Hosts: internal})
+	out := make(map[flow.IP]bool)
+	for host, f := range feats {
+		if f.Flows >= cfg.MinFlows && f.FailedRate() > cfg.MinFailedRate {
+			out[host] = true
+		}
+	}
+	return out, nil
+}

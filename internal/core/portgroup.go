@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"plotters/internal/flow"
+)
+
+// The paper's §VI notes a limitation: a Plotter that infects a heavy
+// Trader can hide inside the Trader's traffic, and suggests separating a
+// host's traffic by application — e.g. by destination port groups — and
+// applying the tests to each group individually. This file implements
+// that extension: each (host, port-group) pair becomes a "virtual host"
+// with its own features, so a bot's control traffic is tested in
+// isolation from the file-sharing bulk on the same machine.
+
+// PortGrouper maps a flow to an application group label. Flows mapping to
+// the same (initiator, group) are analyzed together.
+type PortGrouper func(r *flow.Record) string
+
+// DefaultPortGrouper buckets by well-known application ports: the
+// conventional file-sharing ports, web, mail, DNS/NTP infrastructure, and
+// a catch-all for everything else (bucketed by exact destination port for
+// unprivileged ports, so unknown P2P protocols on a fixed port still
+// group together).
+func DefaultPortGrouper(r *flow.Record) string {
+	switch r.DstPort {
+	case 80, 443, 8080:
+		return "web"
+	case 25, 110, 143, 465, 587, 993, 995:
+		return "mail"
+	case 53, 123:
+		return "infra"
+	case 6346, 6347:
+		return "gnutella"
+	case 4661, 4662, 4672:
+		return "emule"
+	case 6881, 6882, 6883, 6884, 6885, 6886, 6887, 6888, 6889:
+		return "bittorrent"
+	}
+	if r.DstPort >= 1024 {
+		return fmt.Sprintf("port-%d", r.DstPort)
+	}
+	return "other"
+}
+
+// VirtualHost identifies one (host, application group) analysis unit.
+type VirtualHost struct {
+	Host  flow.IP
+	Group string
+}
+
+// PortGroupResult is the outcome of the per-application pipeline.
+type PortGroupResult struct {
+	// Result is the pipeline outcome over virtual hosts (the HostSet
+	// members are synthetic addresses; use Suspects for real ones).
+	Result *Result
+	// Suspects maps each flagged real host to the application groups
+	// whose traffic tripped the detector.
+	Suspects map[flow.IP][]string
+	// Mapping resolves the synthetic virtual addresses back to
+	// (host, group) pairs.
+	Mapping map[flow.IP]VirtualHost
+}
+
+// FindPlottersByApplication runs FindPlotters over per-application
+// virtual hosts: each internal host's flows are split by the grouper, a
+// synthetic source address is minted per (host, group), and the standard
+// pipeline runs over the rewritten records. A bot whose control channel
+// shares a machine with a heavy file-sharer is then judged on its own
+// port group's behavior rather than the blended host profile.
+//
+// grouper defaults to DefaultPortGrouper. Groups with fewer than
+// minFlows flows are left out (too little evidence either way).
+func FindPlottersByApplication(records []flow.Record, internal func(flow.IP) bool, cfg Config, grouper PortGrouper, minFlows int) (*PortGroupResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if grouper == nil {
+		grouper = DefaultPortGrouper
+	}
+	if minFlows < 1 {
+		minFlows = 1
+	}
+
+	// First pass: count flows per (host, group) to allocate virtual
+	// addresses only for groups with enough traffic.
+	counts := make(map[VirtualHost]int)
+	for i := range records {
+		r := &records[i]
+		if internal != nil && !internal(r.Src) {
+			continue
+		}
+		counts[VirtualHost{Host: r.Src, Group: grouper(r)}]++
+	}
+	keys := make([]VirtualHost, 0, len(counts))
+	for vh, n := range counts {
+		if n >= minFlows {
+			keys = append(keys, vh)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Host != keys[j].Host {
+			return keys[i].Host < keys[j].Host
+		}
+		return keys[i].Group < keys[j].Group
+	})
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("core: no (host, group) pairs with >= %d flows", minFlows)
+	}
+
+	// Mint synthetic addresses in a reserved range (0.x.y.z is never a
+	// real initiator).
+	toVirtual := make(map[VirtualHost]flow.IP, len(keys))
+	mapping := make(map[flow.IP]VirtualHost, len(keys))
+	for i, vh := range keys {
+		addr := flow.IP(uint32(i) + 1)
+		toVirtual[vh] = addr
+		mapping[addr] = vh
+	}
+
+	// Second pass: rewrite sources to virtual addresses.
+	rewritten := make([]flow.Record, 0, len(records))
+	for i := range records {
+		r := records[i]
+		if internal != nil && !internal(r.Src) {
+			continue
+		}
+		vh := VirtualHost{Host: r.Src, Group: grouper(&r)}
+		addr, ok := toVirtual[vh]
+		if !ok {
+			continue
+		}
+		r.Src = addr
+		rewritten = append(rewritten, r)
+	}
+
+	res, err := FindPlotters(rewritten, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &PortGroupResult{Result: res, Suspects: make(map[flow.IP][]string), Mapping: mapping}
+	for addr := range res.Suspects {
+		vh := mapping[addr]
+		out.Suspects[vh.Host] = append(out.Suspects[vh.Host], vh.Group)
+	}
+	for _, groups := range out.Suspects {
+		sort.Strings(groups)
+	}
+	return out, nil
+}

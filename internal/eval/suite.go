@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"fmt"
+
+	"plotters/internal/core"
+	"plotters/internal/flow"
+	"plotters/internal/overlay"
+	"plotters/internal/synth/scenario"
+)
+
+// Suite drives the paper's evaluation over one synthesized dataset. Day
+// overlays are cached so several experiments can share them.
+type Suite struct {
+	ds   *scenario.Dataset
+	cfg  core.Config
+	seed int64
+	days []*DayEval
+}
+
+// NewSuite wraps a dataset. seed controls the overlay host assignments.
+func NewSuite(ds *scenario.Dataset, cfg core.Config, seed int64) (*Suite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Days) == 0 {
+		return nil, fmt.Errorf("eval: dataset has no days")
+	}
+	return &Suite{ds: ds, cfg: cfg, seed: seed, days: make([]*DayEval, len(ds.Days))}, nil
+}
+
+// Dataset returns the underlying corpus.
+func (s *Suite) Dataset() *scenario.Dataset { return s.ds }
+
+// Config returns the pipeline configuration.
+func (s *Suite) Config() core.Config { return s.cfg }
+
+// Days returns the number of evaluation days.
+func (s *Suite) Days() int { return len(s.days) }
+
+// Day returns the i-th overlaid day, building it on first use.
+func (s *Suite) Day(i int) (*DayEval, error) {
+	if i < 0 || i >= len(s.days) {
+		return nil, fmt.Errorf("eval: day %d out of range [0,%d)", i, len(s.days))
+	}
+	if s.days[i] == nil {
+		de, err := Overlay(s.ds.Days[i], StormTrace(s.ds), NugacheTrace(s.ds), s.seed+int64(i)*104729, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.days[i] = de
+	}
+	return s.days[i], nil
+}
+
+// windowedBotFeatures extracts per-bot features from a raw (pre-overlay)
+// honeynet trace restricted to the collection window of the first day.
+func (s *Suite) windowedBotFeatures(records []flow.Record) map[flow.IP]*flow.HostFeatures {
+	window := s.ds.Days[0].Window
+	// Honeynet traces share their day with day 0 by construction.
+	return flow.ExtractFeatures(window.Filter(records), flow.FeatureOptions{NewPeerGrace: s.cfg.NewPeerGrace})
+}
+
+// hostClass labels one host for scoring.
+type hostClass int
+
+const (
+	classCampus hostClass = iota + 1
+	classTrader
+	classStorm
+	classNugache
+)
+
+func (d *DayEval) classOf(h flow.IP) hostClass {
+	switch {
+	case d.Storm[h]:
+		return classStorm
+	case d.Nugache[h]:
+		return classNugache
+	case d.Traders[h]:
+		return classTrader
+	default:
+		return classCampus
+	}
+}
+
+// StageCounts tallies the composition of a host set.
+type StageCounts struct {
+	Storm   int
+	Nugache int
+	Traders int
+	Others  int
+}
+
+// Total returns the host count.
+func (c StageCounts) Total() int { return c.Storm + c.Nugache + c.Traders + c.Others }
+
+// Add accumulates counts for cross-day averaging.
+func (c *StageCounts) Add(o StageCounts) {
+	c.Storm += o.Storm
+	c.Nugache += o.Nugache
+	c.Traders += o.Traders
+	c.Others += o.Others
+}
+
+func (d *DayEval) count(set core.HostSet) StageCounts {
+	var c StageCounts
+	for h := range set {
+		switch d.classOf(h) {
+		case classStorm:
+			c.Storm++
+		case classNugache:
+			c.Nugache++
+		case classTrader:
+			c.Traders++
+		default:
+			c.Others++
+		}
+	}
+	return c
+}
+
+// jitteredDay overlays one day with pre-transformed Plotter traces (used
+// by the §VI jitter experiment), keeping the same host assignments as the
+// untransformed overlay by reusing the same per-day seed.
+func (s *Suite) jitteredDay(i int, storm, nugache overlay.Trace) (*DayEval, error) {
+	return Overlay(s.ds.Days[i], storm, nugache, s.seed+int64(i)*104729, s.cfg)
+}
+
+// PercentileSweep is the paper's threshold sweep for every ROC figure.
+var PercentileSweep = []float64{10, 30, 50, 70, 90}

@@ -1,0 +1,159 @@
+// Package evasion implements the §VI evasion transforms: modifications a
+// Plotter could make to its traffic to slip past each detection test, so
+// the cost of evasion can be quantified. Each transform rewrites a bot
+// trace *before* it is overlaid; the evaluation then measures how the
+// detection rate decays and what the behavioral change costs the botnet
+// (extra volume, extra peers, slower command latency).
+package evasion
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+// InflateVolume multiplies the bytes uploaded on every successful flow by
+// factor — the direct way to evade θ_vol, at the cost of conspicuous
+// extra traffic. The input is not modified.
+func InflateVolume(records []flow.Record, factor float64) ([]flow.Record, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("evasion: volume factor must be positive, got %v", factor)
+	}
+	out := make([]flow.Record, len(records))
+	for i, r := range records {
+		if !r.Failed() {
+			r.SrcBytes = uint64(float64(r.SrcBytes) * factor)
+			// More bytes means more packets on the wire.
+			r.SrcPkts = uint32(float64(r.SrcPkts)*factor) + 1
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// PadFlows appends pad bytes of junk to every successful flow — the
+// padding variant of volume evasion (e.g. bots attaching garbage to each
+// control message).
+func PadFlows(records []flow.Record, pad uint64) []flow.Record {
+	out := make([]flow.Record, len(records))
+	for i, r := range records {
+		if !r.Failed() {
+			r.SrcBytes += pad
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// InflateChurn makes each bot appear to contact more new hosts: for every
+// repeat contact, with probability (factor−1)/factor the destination is
+// rewritten to a fresh, never-before-seen address — increasing the
+// fraction of new destinations by roughly the given factor, the way a bot
+// cycling through throwaway peers (or random scanning) would. Fresh
+// addresses are drawn from freshPool via rng. The input is not modified.
+func InflateChurn(records []flow.Record, factor float64, freshPool []flow.IP, rng *rand.Rand) ([]flow.Record, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("evasion: churn factor must be >= 1, got %v", factor)
+	}
+	if len(freshPool) == 0 {
+		return nil, fmt.Errorf("evasion: empty fresh address pool")
+	}
+	rewriteProb := (factor - 1) / factor
+	seen := make(map[[2]uint32]bool)
+	next := 0
+	out := make([]flow.Record, len(records))
+	// Process in time order so "repeat contact" matches the feature
+	// extractor's view.
+	idx := timeOrder(records)
+	for _, i := range idx {
+		r := records[i]
+		key := [2]uint32{uint32(r.Src), uint32(r.Dst)}
+		if seen[key] && rng.Float64() < rewriteProb {
+			r.Dst = freshPool[next%len(freshPool)]
+			next++
+		} else {
+			seen[key] = true
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// JitterRepeatContacts implements the paper's θ_hm evasion simulation:
+// every connection to a peer the bot has previously contacted is shifted
+// by a delay drawn uniformly from [−d, +d]. Randomizing repeat-contact
+// times destroys the timer structure θ_hm clusters on, at the cost of
+// slowing the botnet's command responsiveness by up to d. First contacts
+// are left in place. The result is re-sorted by start time.
+func JitterRepeatContacts(records []flow.Record, d time.Duration, rng *rand.Rand) ([]flow.Record, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("evasion: jitter must be non-negative, got %v", d)
+	}
+	out := make([]flow.Record, len(records))
+	seen := make(map[[2]uint32]bool)
+	idx := timeOrder(records)
+	for _, i := range idx {
+		r := records[i]
+		key := [2]uint32{uint32(r.Src), uint32(r.Dst)}
+		if seen[key] && d > 0 {
+			delta := time.Duration(rng.Int63n(int64(2*d)+1)) - d
+			r.Start = r.Start.Add(delta)
+			r.End = r.End.Add(delta)
+		} else {
+			seen[key] = true
+		}
+		out[i] = r
+	}
+	flow.SortByStart(out)
+	return out, nil
+}
+
+// timeOrder returns record indices sorted by start time (stable).
+func timeOrder(records []flow.Record) []int {
+	idx := make([]int, len(records))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return records[idx[a]].Start.Before(records[idx[b]].Start)
+	})
+	return idx
+}
+
+// RequiredVolumeFactor returns how much a host must multiply its average
+// flow size to reach the threshold — the paper's Figure 11(a) metric
+// (≈5× for the median Storm bot, ≈1.3× for the median Nugache bot).
+func RequiredVolumeFactor(avgBytesPerFlow, threshold float64) float64 {
+	if avgBytesPerFlow <= 0 {
+		return 0
+	}
+	if avgBytesPerFlow >= threshold {
+		return 1
+	}
+	return threshold / avgBytesPerFlow
+}
+
+// RequiredChurnFactor returns by what factor a host must increase its
+// count of new destinations to lift its new-IP fraction to target while
+// keeping its existing peers — Figure 11(b)'s metric (≥1.5× to reach a
+// typical 90% threshold). With n new and k total destinations, adding x−n
+// fresh one-off contacts gives fraction (x)/(k−n+x); solving for the
+// factor x/n.
+func RequiredChurnFactor(newPeers, totalPeers int, target float64) float64 {
+	if newPeers <= 0 || totalPeers <= 0 || newPeers > totalPeers {
+		return 0
+	}
+	current := float64(newPeers) / float64(totalPeers)
+	if current >= target {
+		return 1
+	}
+	if target >= 1 {
+		return 0 // unreachable while keeping any old peer
+	}
+	old := float64(totalPeers - newPeers)
+	needed := target * old / (1 - target)
+	return needed / float64(newPeers)
+}

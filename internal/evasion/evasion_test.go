@@ -1,0 +1,246 @@
+package evasion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+func t0() time.Time {
+	return time.Date(2007, time.November, 5, 0, 0, 0, 0, time.UTC)
+}
+
+func rec(src, dst flow.IP, at time.Time, state flow.ConnState, bytes uint64) flow.Record {
+	return flow.Record{
+		Src: src, Dst: dst, SrcPort: 4000, DstPort: 80, Proto: flow.TCP,
+		Start: at, End: at.Add(time.Second),
+		SrcPkts: 2, DstPkts: 2, SrcBytes: bytes, DstBytes: 10, State: state,
+	}
+}
+
+func TestInflateVolume(t *testing.T) {
+	records := []flow.Record{
+		rec(1, 2, t0(), flow.StateEstablished, 100),
+		rec(1, 2, t0().Add(time.Minute), flow.StateFailed, 100),
+	}
+	out, err := InflateVolume(records, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].SrcBytes != 300 {
+		t.Errorf("successful flow bytes = %d, want 300", out[0].SrcBytes)
+	}
+	if out[1].SrcBytes != 100 {
+		t.Errorf("failed flow bytes changed: %d", out[1].SrcBytes)
+	}
+	if records[0].SrcBytes != 100 {
+		t.Error("input mutated")
+	}
+	if _, err := InflateVolume(records, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := InflateVolume(records, -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestPadFlows(t *testing.T) {
+	records := []flow.Record{
+		rec(1, 2, t0(), flow.StateEstablished, 100),
+		rec(1, 2, t0(), flow.StateFailed, 100),
+	}
+	out := PadFlows(records, 50)
+	if out[0].SrcBytes != 150 || out[1].SrcBytes != 100 {
+		t.Errorf("padded = %d/%d", out[0].SrcBytes, out[1].SrcBytes)
+	}
+}
+
+func TestInflateChurn(t *testing.T) {
+	// One host contacting one peer 100 times: 99 repeats.
+	var records []flow.Record
+	for i := 0; i < 100; i++ {
+		records = append(records, rec(1, 2, t0().Add(time.Duration(i)*time.Minute), flow.StateEstablished, 10))
+	}
+	pool := make([]flow.IP, 500)
+	for i := range pool {
+		pool[i] = flow.IP(1000 + i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	out, err := InflateChurn(records, 3, pool, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	for i := range out {
+		if out[i].Dst != 2 {
+			fresh++
+		}
+	}
+	// rewriteProb = 2/3 of the 99 repeats ≈ 66.
+	if fresh < 45 || fresh > 85 {
+		t.Errorf("fresh contacts = %d, want ≈66", fresh)
+	}
+	// Factor 1 changes nothing.
+	same, err := InflateChurn(records, 1, pool, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range same {
+		if same[i].Dst != 2 {
+			t.Fatal("factor 1 rewrote a destination")
+		}
+	}
+	if _, err := InflateChurn(records, 0.5, pool, rng); err == nil {
+		t.Error("factor < 1 accepted")
+	}
+	if _, err := InflateChurn(records, 2, nil, rng); err == nil {
+		t.Error("empty pool accepted")
+	}
+}
+
+func TestJitterRepeatContacts(t *testing.T) {
+	var records []flow.Record
+	for i := 0; i < 50; i++ {
+		records = append(records, rec(1, 2, t0().Add(time.Duration(i)*time.Minute), flow.StateEstablished, 10))
+	}
+	rng := rand.New(rand.NewSource(2))
+	d := 30 * time.Second
+	out, err := JitterRepeatContacts(records, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(records) {
+		t.Fatal("length changed")
+	}
+	// Output sorted.
+	for i := 1; i < len(out); i++ {
+		if out[i].Start.Before(out[i-1].Start) {
+			t.Fatal("output not sorted")
+		}
+	}
+	// The first contact to (1,2) must be unmoved; every record's shift is
+	// within ±d of some original start time.
+	moved := 0
+	for _, r := range out {
+		bestShift := time.Duration(math.MaxInt64)
+		for _, orig := range records {
+			shift := r.Start.Sub(orig.Start)
+			if shift < 0 {
+				shift = -shift
+			}
+			if shift < bestShift {
+				bestShift = shift
+			}
+		}
+		if bestShift > d {
+			t.Fatalf("record shifted by more than ±d: %v", bestShift)
+		}
+		if bestShift > 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no record was jittered")
+	}
+	// Duration preserved.
+	for i := range out {
+		if out[i].End.Sub(out[i].Start) != time.Second {
+			t.Fatal("flow duration changed")
+		}
+	}
+	// d = 0 is the identity.
+	same, err := JitterRepeatContacts(records, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range same {
+		if !same[i].Start.Equal(records[i].Start) {
+			t.Fatal("zero jitter moved a record")
+		}
+	}
+	if _, err := JitterRepeatContacts(records, -time.Second, rng); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestJitterDestroysPeriodicity(t *testing.T) {
+	// Perfectly periodic contacts; after ±5m jitter, the interstitial
+	// variance must blow up.
+	var records []flow.Record
+	for i := 0; i < 200; i++ {
+		records = append(records, rec(1, 2, t0().Add(time.Duration(i)*2*time.Minute), flow.StateEstablished, 10))
+	}
+	rng := rand.New(rand.NewSource(3))
+	out, err := JitterRepeatContacts(records, 5*time.Minute, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variance := func(rs []flow.Record) float64 {
+		var gaps []float64
+		for i := 1; i < len(rs); i++ {
+			gaps = append(gaps, rs[i].Start.Sub(rs[i-1].Start).Seconds())
+		}
+		var mean float64
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		var ss float64
+		for _, g := range gaps {
+			ss += (g - mean) * (g - mean)
+		}
+		return ss / float64(len(gaps))
+	}
+	if vOrig, vJit := variance(records), variance(out); vJit < 100*vOrig+1 {
+		t.Errorf("jitter did not disperse timing: var %v -> %v", vOrig, vJit)
+	}
+}
+
+func TestRequiredVolumeFactor(t *testing.T) {
+	tests := []struct {
+		avg, thr, want float64
+	}{
+		{100, 500, 5},
+		{500, 500, 1},
+		{800, 500, 1},
+		{0, 500, 0},
+	}
+	for _, tt := range tests {
+		if got := RequiredVolumeFactor(tt.avg, tt.thr); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("RequiredVolumeFactor(%v, %v) = %v, want %v", tt.avg, tt.thr, got, tt.want)
+		}
+	}
+}
+
+func TestRequiredChurnFactor(t *testing.T) {
+	// 20 new of 100 total; to reach 90%: need x new with x/(80+x) = 0.9
+	// → x = 720 → factor 36.
+	if got := RequiredChurnFactor(20, 100, 0.9); math.Abs(got-36) > 1e-9 {
+		t.Errorf("factor = %v, want 36", got)
+	}
+	// Already above target.
+	if got := RequiredChurnFactor(95, 100, 0.9); got != 1 {
+		t.Errorf("above-target factor = %v, want 1", got)
+	}
+	// Degenerate inputs.
+	for _, tt := range [][3]int{{0, 100, 0}, {10, 0, 0}, {20, 10, 0}} {
+		if got := RequiredChurnFactor(tt[0], tt[1], 0.9); got != 0 {
+			t.Errorf("RequiredChurnFactor(%d,%d) = %v, want 0", tt[0], tt[1], got)
+		}
+	}
+	// Unreachable target.
+	if got := RequiredChurnFactor(20, 100, 1); got != 0 {
+		t.Errorf("target=1 factor = %v, want 0", got)
+	}
+	// Verify the formula: applying the factor reaches the target.
+	newPeers, total := 30, 120
+	factor := RequiredChurnFactor(newPeers, total, 0.9)
+	x := factor * float64(newPeers)
+	old := float64(total - newPeers)
+	if frac := x / (old + x); math.Abs(frac-0.9) > 1e-9 {
+		t.Errorf("applying factor gives fraction %v, want 0.9", frac)
+	}
+}

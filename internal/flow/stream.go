@@ -1,0 +1,183 @@
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// StreamExtractor computes the same per-host features as ExtractFeatures
+// incrementally, one record at a time — the shape a deployment at a busy
+// border needs, where the day's records never sit in memory at once.
+//
+// Feature semantics are defined over start-time order, but flow monitors
+// emit records at flow *end*, so a live feed arrives only approximately
+// start-ordered. Set FeatureOptions via NewStreamExtractor and a MaxSkew
+// via NewStreamExtractorSkew to buffer records in a small start-ordered
+// heap: a record is processed once the feed has advanced MaxSkew past
+// its start time, which tolerates exactly the reordering a flow
+// monitor's expiry timers introduce. With zero skew, records must arrive
+// strictly start-ordered.
+type StreamExtractor struct {
+	opts     FeatureOptions
+	grace    time.Duration
+	maxSkew  time.Duration
+	builders map[IP]*featureBuilder
+	pending  recordHeap
+	frontier time.Time // latest start time seen
+	released time.Time // start time up to which records were processed
+	count    int
+	seq      uint64
+}
+
+// NewStreamExtractor creates an incremental extractor requiring
+// start-ordered input.
+func NewStreamExtractor(opts FeatureOptions) *StreamExtractor {
+	return NewStreamExtractorSkew(opts, 0)
+}
+
+// NewStreamExtractorSkew creates an incremental extractor tolerating
+// records up to maxSkew out of start order.
+func NewStreamExtractorSkew(opts FeatureOptions, maxSkew time.Duration) *StreamExtractor {
+	grace := opts.NewPeerGrace
+	if grace <= 0 {
+		grace = DefaultNewPeerGrace
+	}
+	if maxSkew < 0 {
+		maxSkew = 0
+	}
+	return &StreamExtractor{
+		opts:     opts,
+		grace:    grace,
+		maxSkew:  maxSkew,
+		builders: make(map[IP]*featureBuilder),
+	}
+}
+
+// Add folds one record into the running features. Records may arrive up
+// to MaxSkew out of start-time order; older records are rejected.
+func (se *StreamExtractor) Add(r *Record) error {
+	if r.Start.Before(se.released) {
+		return fmt.Errorf("flow: record at %v is more than %v behind the stream frontier %v",
+			r.Start, se.maxSkew, se.frontier)
+	}
+	se.count++
+	if r.Start.After(se.frontier) {
+		se.frontier = r.Start
+	}
+	if se.maxSkew == 0 {
+		se.released = r.Start
+		se.process(r)
+		return nil
+	}
+	se.seq++
+	heap.Push(&se.pending, pendingRecord{rec: *r, seq: se.seq})
+	se.release(se.frontier.Add(-se.maxSkew))
+	return nil
+}
+
+// release processes buffered records with start times up to watermark.
+func (se *StreamExtractor) release(watermark time.Time) {
+	for len(se.pending) > 0 && !se.pending[0].rec.Start.After(watermark) {
+		p := heap.Pop(&se.pending).(pendingRecord)
+		se.released = p.rec.Start
+		se.process(&p.rec)
+	}
+}
+
+// Drain processes every buffered record (end of feed).
+func (se *StreamExtractor) Drain() {
+	se.release(se.frontier)
+}
+
+func (se *StreamExtractor) process(r *Record) {
+	if se.opts.Hosts != nil && !se.opts.Hosts(r.Src) {
+		return
+	}
+	b, ok := se.builders[r.Src]
+	if !ok {
+		b = &featureBuilder{
+			feats:     &HostFeatures{Host: r.Src, FirstSeen: r.Start},
+			firstSeen: make(map[IP]time.Time),
+			lastStart: make(map[IP]time.Time),
+		}
+		se.builders[r.Src] = b
+	}
+	b.observe(r, se.grace)
+}
+
+// Records returns how many records have been accepted (including ones
+// still buffered).
+func (se *StreamExtractor) Records() int { return se.count }
+
+// Pending returns how many records are buffered awaiting the watermark.
+func (se *StreamExtractor) Pending() int { return len(se.pending) }
+
+// Hosts returns how many distinct initiators have been processed.
+func (se *StreamExtractor) Hosts() int { return len(se.builders) }
+
+// Snapshot returns the current per-host features (excluding buffered
+// records; call Drain first at end of feed). The returned map and its
+// values are live views — callers must not mutate them and must not
+// interleave reads with Add calls from other goroutines.
+func (se *StreamExtractor) Snapshot() map[IP]*HostFeatures {
+	out := make(map[IP]*HostFeatures, len(se.builders))
+	for ip, b := range se.builders {
+		out[ip] = b.feats
+	}
+	return out
+}
+
+// pendingRecord is one buffered record; seq keeps ties in arrival order
+// so the skewed stream reproduces the batch extractor exactly.
+type pendingRecord struct {
+	rec Record
+	seq uint64
+}
+
+// recordHeap is a min-heap of records by (start time, arrival order).
+type recordHeap []pendingRecord
+
+func (h recordHeap) Len() int { return len(h) }
+func (h recordHeap) Less(i, j int) bool {
+	if !h[i].rec.Start.Equal(h[j].rec.Start) {
+		return h[i].rec.Start.Before(h[j].rec.Start)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h recordHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *recordHeap) Push(x any)   { *h = append(*h, x.(pendingRecord)) }
+func (h *recordHeap) Pop() any {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	*h = old[:n-1]
+	return rec
+}
+
+// observe folds one record into a host's builder. Shared by the batch
+// and streaming extractors so their semantics cannot drift.
+func (b *featureBuilder) observe(r *Record, grace time.Duration) {
+	f := b.feats
+	f.Flows++
+	if r.Failed() {
+		f.FailedFlows++
+	} else {
+		f.SuccessfulFlows++
+	}
+	f.BytesUploaded += r.SrcBytes
+	if r.Start.After(f.LastSeen) {
+		f.LastSeen = r.Start
+	}
+	if _, seen := b.firstSeen[r.Dst]; !seen {
+		b.firstSeen[r.Dst] = r.Start
+		f.Peers++
+		if r.Start.Sub(f.FirstSeen) > grace {
+			f.NewPeers++
+		}
+	}
+	if prev, ok := b.lastStart[r.Dst]; ok {
+		f.Interstitials = append(f.Interstitials, r.Start.Sub(prev).Seconds())
+	}
+	b.lastStart[r.Dst] = r.Start
+}

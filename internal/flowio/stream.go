@@ -1,0 +1,206 @@
+package flowio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"plotters/internal/flow"
+)
+
+// Reader is the streaming decode interface implemented by all three
+// codecs: Next returns records one at a time until io.EOF.
+type Reader interface {
+	Next() (flow.Record, error)
+}
+
+// Writer is the streaming encode interface implemented by all three
+// codecs.
+type Writer interface {
+	Write(r *flow.Record) error
+	Flush() error
+}
+
+// Compile-time interface checks.
+var (
+	_ Reader = (*BinaryReader)(nil)
+	_ Reader = (*CSVReader)(nil)
+	_ Reader = (*JSONLReader)(nil)
+	_ Writer = (*BinaryWriter)(nil)
+	_ Writer = (*CSVWriter)(nil)
+	_ Writer = (*JSONLWriter)(nil)
+)
+
+// CSVReader streams records from CSV.
+type CSVReader struct {
+	cr     *csv.Reader
+	header bool
+	line   int
+}
+
+// NewCSVReader wraps r.
+func NewCSVReader(r io.Reader) *CSVReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	return &CSVReader{cr: cr}
+}
+
+// Next returns the next record, or io.EOF at end of input.
+func (c *CSVReader) Next() (flow.Record, error) {
+	if !c.header {
+		header, err := c.cr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return flow.Record{}, fmt.Errorf("flowio: empty CSV input: %w", err)
+			}
+			return flow.Record{}, fmt.Errorf("flowio: reading CSV header: %w", err)
+		}
+		for i, want := range csvHeader {
+			if header[i] != want {
+				return flow.Record{}, fmt.Errorf("flowio: CSV column %d is %q, want %q", i, header[i], want)
+			}
+		}
+		c.header = true
+		c.line = 1
+	}
+	c.line++
+	row, err := c.cr.Read()
+	if errors.Is(err, io.EOF) {
+		return flow.Record{}, io.EOF
+	}
+	if err != nil {
+		return flow.Record{}, fmt.Errorf("flowio: reading CSV line %d: %w", c.line, err)
+	}
+	rec, err := parseCSVRow(row)
+	if err != nil {
+		return flow.Record{}, fmt.Errorf("flowio: CSV line %d: %w", c.line, err)
+	}
+	return rec, nil
+}
+
+// CSVWriter streams records to CSV.
+type CSVWriter struct {
+	cw     *csv.Writer
+	header bool
+	row    []string
+}
+
+// NewCSVWriter wraps w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w), row: make([]string, len(csvHeader))}
+}
+
+// Write appends one record.
+func (c *CSVWriter) Write(r *flow.Record) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("flowio: refusing to encode invalid record: %w", err)
+	}
+	if !c.header {
+		if err := c.cw.Write(csvHeader); err != nil {
+			return fmt.Errorf("flowio: writing CSV header: %w", err)
+		}
+		c.header = true
+	}
+	formatCSVRow(r, c.row)
+	if err := c.cw.Write(c.row); err != nil {
+		return fmt.Errorf("flowio: writing CSV row: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered output.
+func (c *CSVWriter) Flush() error {
+	if !c.header {
+		if err := c.cw.Write(csvHeader); err != nil {
+			return fmt.Errorf("flowio: writing CSV header: %w", err)
+		}
+		c.header = true
+	}
+	c.cw.Flush()
+	if err := c.cw.Error(); err != nil {
+		return fmt.Errorf("flowio: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// JSONLReader streams records from JSON Lines.
+type JSONLReader struct {
+	dec  *json.Decoder
+	line int
+}
+
+// NewJSONLReader wraps r.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	return &JSONLReader{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next record, or io.EOF at end of input.
+func (j *JSONLReader) Next() (flow.Record, error) {
+	j.line++
+	var jr jsonRecord
+	if err := j.dec.Decode(&jr); err != nil {
+		if errors.Is(err, io.EOF) {
+			return flow.Record{}, io.EOF
+		}
+		return flow.Record{}, fmt.Errorf("flowio: decoding JSONL record %d: %w", j.line, err)
+	}
+	rec, err := jr.toRecord()
+	if err != nil {
+		return flow.Record{}, fmt.Errorf("flowio: JSONL record %d: %w", j.line, err)
+	}
+	return rec, nil
+}
+
+// JSONLWriter streams records to JSON Lines.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record.
+func (j *JSONLWriter) Write(r *flow.Record) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("flowio: refusing to encode invalid record: %w", err)
+	}
+	jr := toJSONRecord(r)
+	if err := j.enc.Encode(&jr); err != nil {
+		return fmt.Errorf("flowio: encoding JSONL: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered output.
+func (j *JSONLWriter) Flush() error {
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("flowio: flushing JSONL: %w", err)
+	}
+	return nil
+}
+
+// Copy streams every record from r to w and flushes, returning the
+// record count — format conversion without buffering the trace.
+func Copy(w Writer, r Reader) (int, error) {
+	n := 0
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return n, w.Flush()
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(&rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

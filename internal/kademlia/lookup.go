@@ -1,0 +1,138 @@
+package kademlia
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Attempt records one query the iterative lookup issued: the peer it
+// contacted and whether the peer answered. Traffic generators convert
+// attempts into flow records (answered → established, silent → failed).
+type Attempt struct {
+	Peer Contact
+	// Responded is true when the peer was online and the query answered.
+	Responded bool
+}
+
+// LookupConfig tunes the iterative lookup.
+type LookupConfig struct {
+	// Alpha is the query parallelism (Kademlia's α, typically 3).
+	Alpha int
+	// K is the closeness set size; the lookup terminates when the k
+	// closest known peers have all been queried.
+	K int
+	// LossRate is the probability an online peer still fails to answer
+	// (packet loss, NAT); keeps failure rates realistic even in a
+	// well-connected overlay.
+	LossRate float64
+	// MaxQueries bounds total attempts per lookup.
+	MaxQueries int
+}
+
+// DefaultLookupConfig mirrors common Kademlia deployments.
+func DefaultLookupConfig() LookupConfig {
+	return LookupConfig{Alpha: 3, K: DefaultK, LossRate: 0.05, MaxQueries: 32}
+}
+
+// IterativeFindNode runs a Kademlia node lookup for target at virtual
+// time now: repeatedly query the α closest un-queried candidates, merge
+// the responders' closest-peer answers into the candidate set, and stop
+// when the k closest candidates have been queried (or the query budget is
+// spent). Responders (and the peers they report) are folded into rt,
+// which is how a long-running peer's routing table converges to a stable
+// contact set.
+//
+// The returned attempts preserve query order.
+func IterativeFindNode(rt *RoutingTable, ov *Overlay, target NodeID, now time.Time, rng *rand.Rand, cfg LookupConfig) []Attempt {
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 3
+	}
+	if cfg.K <= 0 {
+		cfg.K = DefaultK
+	}
+	if cfg.MaxQueries <= 0 {
+		cfg.MaxQueries = 32
+	}
+
+	type candidate struct {
+		c       Contact
+		queried bool
+	}
+	seen := make(map[NodeID]bool)
+	var cands []candidate
+	addCandidate := func(c Contact) {
+		if c.ID == rt.Self() || seen[c.ID] {
+			return
+		}
+		seen[c.ID] = true
+		cands = append(cands, candidate{c: c})
+	}
+	for _, c := range rt.Closest(target, cfg.K) {
+		addCandidate(c)
+	}
+
+	sortCands := func() {
+		sort.Slice(cands, func(i, j int) bool {
+			return cands[i].c.ID.XOR(target).Less(cands[j].c.ID.XOR(target))
+		})
+	}
+
+	var attempts []Attempt
+	for len(attempts) < cfg.MaxQueries {
+		sortCands()
+		// Collect the next α un-queried candidates among the k closest.
+		var batch []int
+		horizon := len(cands)
+		if horizon > cfg.K {
+			horizon = cfg.K
+		}
+		for i := 0; i < horizon && len(batch) < cfg.Alpha; i++ {
+			if !cands[i].queried {
+				batch = append(batch, i)
+			}
+		}
+		if len(batch) == 0 {
+			break // the k closest are all queried: lookup converged
+		}
+		for _, i := range batch {
+			if len(attempts) >= cfg.MaxQueries {
+				break
+			}
+			cands[i].queried = true
+			peer := cands[i].c
+			responded := ov.Online(peer.ID, now) && rng.Float64() >= cfg.LossRate
+			attempts = append(attempts, Attempt{Peer: peer, Responded: responded})
+			if !responded {
+				// Kademlia drops unresponsive contacts from the table.
+				rt.Remove(peer.ID)
+				continue
+			}
+			refreshed := peer
+			refreshed.LastSeen = now
+			rt.Update(refreshed)
+			// The responder reports the k closest peers *it knows about*;
+			// that knowledge is stale, so some reported peers are already
+			// offline — exactly the churn that makes P2P hosts' failed
+			// connection rates high.
+			for _, learned := range ov.ClosestAny(target, cfg.K) {
+				if learned.ID == peer.ID {
+					continue
+				}
+				addCandidate(learned)
+				rt.Update(learned)
+			}
+		}
+	}
+	return attempts
+}
+
+// Bootstrap seeds a routing table from a peer list (e.g. the bot binary's
+// hard-coded peers) and runs a self-lookup — the standard Kademlia join.
+// It returns the join's query attempts.
+func Bootstrap(rt *RoutingTable, ov *Overlay, seeds []Contact, now time.Time, rng *rand.Rand, cfg LookupConfig) []Attempt {
+	for _, c := range seeds {
+		rt.Update(c)
+	}
+	return IterativeFindNode(rt, ov, rt.Self(), now, rng, cfg)
+}

@@ -1,0 +1,159 @@
+// Package label implements the paper's §III ground-truth rules: Traders
+// are identified from the first 64 payload bytes of their flows using
+// protocol signatures of the three file-sharing applications studied —
+// Gnutella, eMule, and BitTorrent. The detection pipeline itself never
+// reads payloads; labeling exists only to score detection results.
+package label
+
+import (
+	"bytes"
+
+	"plotters/internal/flow"
+)
+
+// App identifies a P2P file-sharing application recognized by the §III
+// payload rules.
+type App int
+
+// Recognized file-sharing applications.
+const (
+	AppUnknown App = iota
+	AppGnutella
+	AppEMule
+	AppBitTorrent
+)
+
+// String names the application.
+func (a App) String() string {
+	switch a {
+	case AppGnutella:
+		return "gnutella"
+	case AppEMule:
+		return "emule"
+	case AppBitTorrent:
+		return "bittorrent"
+	default:
+		return "unknown"
+	}
+}
+
+// Gnutella protocol keywords (§III): connection handshakes, connect-back
+// messages, and LimeWire vendor tags.
+var gnutellaKeywords = [][]byte{
+	[]byte("GNUTELLA"),
+	[]byte("CONNECT BACK"),
+	[]byte("LIME"),
+}
+
+// BitTorrent signatures (§III): the wire-protocol handshake string,
+// tracker web requests, and DHT (bencoded KRPC) control messages.
+var bitTorrentKeywords = [][]byte{
+	[]byte("BitTorrent protocol"),
+	[]byte("GET /scrape"),
+	[]byte("GET /announce"),
+	[]byte("d1:ad2:id20"),
+	[]byte("d1:rd2:id20"),
+}
+
+// eMule protocol markers (Kulbak & Bickson): 0xe3 heads standard eDonkey
+// messages, 0xc5 heads extended eMule messages. Known opcodes following
+// the header byte (a small subset sufficient for our synthesized
+// traffic): hello, hello-answer, and KAD2 request/response markers.
+var emuleOpcodes = []byte{0x01, 0x4c, 0x11, 0x21, 0x29, 0x58, 0x60}
+
+// ClassifyPayload returns the application whose §III signature matches
+// the payload prefix, or AppUnknown.
+func ClassifyPayload(payload []byte) App {
+	if len(payload) == 0 {
+		return AppUnknown
+	}
+	for _, kw := range gnutellaKeywords {
+		if bytes.Contains(payload, kw) {
+			return AppGnutella
+		}
+	}
+	for _, kw := range bitTorrentKeywords {
+		if bytes.Contains(payload, kw) {
+			return AppBitTorrent
+		}
+	}
+	if payload[0] == 0xe3 || payload[0] == 0xc5 {
+		if len(payload) == 1 {
+			return AppUnknown // header byte alone is too weak a signal
+		}
+		for _, op := range emuleOpcodes {
+			// eDonkey TCP frames carry a 4-byte length between the header
+			// and opcode; UDP frames put the opcode right after the
+			// header. Accept either position.
+			if payload[1] == op || (len(payload) >= 6 && payload[5] == op) {
+				return AppEMule
+			}
+		}
+	}
+	return AppUnknown
+}
+
+// ClassifyFlow labels one flow record from its payload prefix.
+func ClassifyFlow(r *flow.Record) App {
+	return ClassifyPayload(r.Payload)
+}
+
+// HostLabel summarizes the ground-truth evidence for one host.
+type HostLabel struct {
+	Host flow.IP
+	// Apps counts matching flows per application.
+	Apps map[App]int
+	// MatchedFlows counts flows that matched any signature.
+	MatchedFlows int
+}
+
+// IsTrader reports whether any file-sharing signature matched.
+func (h *HostLabel) IsTrader() bool { return h.MatchedFlows > 0 }
+
+// Primary returns the application with the most matching flows.
+func (h *HostLabel) Primary() App {
+	best, bestCount := AppUnknown, 0
+	for app, count := range h.Apps {
+		if count > bestCount || (count == bestCount && app < best) {
+			best, bestCount = app, count
+		}
+	}
+	return best
+}
+
+// LabelHosts scans records and returns, for each initiator for which the
+// optional filter is true, the ground-truth evidence gathered from its
+// flows' payload prefixes. Hosts with no matching flows are omitted.
+func LabelHosts(records []flow.Record, hostFilter func(flow.IP) bool) map[flow.IP]*HostLabel {
+	out := make(map[flow.IP]*HostLabel)
+	for i := range records {
+		r := &records[i]
+		if hostFilter != nil && !hostFilter(r.Src) {
+			continue
+		}
+		app := ClassifyFlow(r)
+		if app == AppUnknown {
+			continue
+		}
+		hl, ok := out[r.Src]
+		if !ok {
+			hl = &HostLabel{Host: r.Src, Apps: make(map[App]int)}
+			out[r.Src] = hl
+		}
+		hl.Apps[app]++
+		hl.MatchedFlows++
+	}
+	return out
+}
+
+// Traders returns the set of hosts labeled as Traders.
+func Traders(records []flow.Record, hostFilter func(flow.IP) bool) map[flow.IP]bool {
+	labels := LabelHosts(records, hostFilter)
+	out := make(map[flow.IP]bool, len(labels))
+	for ip, hl := range labels {
+		if hl.IsTrader() {
+			out[ip] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package label
+
+import (
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+func TestClassifyPayload(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload []byte
+		want    App
+	}{
+		{"empty", nil, AppUnknown},
+		{"http", []byte("GET / HTTP/1.1\r\nHost: example.com"), AppUnknown},
+		{"gnutella handshake", []byte("GNUTELLA CONNECT/0.6\r\n"), AppGnutella},
+		{"gnutella mid-payload", []byte("xxGNUTELLA/0.6 200 OK"), AppGnutella},
+		{"connect back", []byte("CONNECT BACK please"), AppGnutella},
+		{"lime vendor", []byte("User-Agent: LIMEWIRE"), AppGnutella},
+		{"bt handshake", append([]byte{19}, []byte("BitTorrent protocol")...), AppBitTorrent},
+		{"bt scrape", []byte("GET /scrape?info_hash=xyz HTTP/1.0"), AppBitTorrent},
+		{"bt announce", []byte("GET /announce?info_hash=xyz"), AppBitTorrent},
+		{"bt dht query", []byte("d1:ad2:id20:abcdefghij0123456789"), AppBitTorrent},
+		{"bt dht response", []byte("d1:rd2:id20:abcdefghij0123456789"), AppBitTorrent},
+		{"emule udp hello", []byte{0xe3, 0x01, 0x10, 0x02}, AppEMule},
+		{"emule extended", []byte{0xc5, 0x4c, 0x00}, AppEMule},
+		{"emule tcp framed", []byte{0xe3, 0x55, 0x00, 0x00, 0x00, 0x01}, AppEMule},
+		{"emule kad2", []byte{0xe3, 0x21, 0x99}, AppEMule},
+		{"emule header only", []byte{0xe3}, AppUnknown},
+		{"emule bad opcode", []byte{0xe3, 0xff, 0x00, 0x00, 0x00, 0xff}, AppUnknown},
+		{"random binary", []byte{0x17, 0x03, 0x03, 0x00, 0x50}, AppUnknown},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClassifyPayload(tt.payload); got != tt.want {
+				t.Errorf("ClassifyPayload = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAppString(t *testing.T) {
+	if AppGnutella.String() != "gnutella" || AppEMule.String() != "emule" ||
+		AppBitTorrent.String() != "bittorrent" || AppUnknown.String() != "unknown" {
+		t.Error("App names wrong")
+	}
+}
+
+func mkFlow(src flow.IP, payload []byte) flow.Record {
+	t0 := time.Date(2007, time.November, 5, 10, 0, 0, 0, time.UTC)
+	return flow.Record{
+		Src: src, Dst: flow.MakeIP(4, 4, 4, 4), SrcPort: 5000, DstPort: 6346,
+		Proto: flow.TCP, Start: t0, End: t0.Add(time.Second),
+		SrcPkts: 1, DstPkts: 1, SrcBytes: uint64(len(payload)), DstBytes: 10,
+		State: flow.StateEstablished, Payload: payload,
+	}
+}
+
+func TestLabelHosts(t *testing.T) {
+	gnut := flow.MakeIP(128, 2, 0, 1)
+	mixed := flow.MakeIP(128, 2, 0, 2)
+	clean := flow.MakeIP(128, 2, 0, 3)
+	records := []flow.Record{
+		mkFlow(gnut, []byte("GNUTELLA CONNECT/0.6")),
+		mkFlow(gnut, []byte("GNUTELLA/0.6 200 OK")),
+		mkFlow(mixed, []byte("GET /announce?info_hash=a")),
+		mkFlow(mixed, []byte("d1:ad2:id20:aaaaaaaaaaaaaaaaaaaa")),
+		mkFlow(mixed, []byte("GNUTELLA CONNECT")),
+		mkFlow(clean, []byte("GET / HTTP/1.1")),
+	}
+	labels := LabelHosts(records, nil)
+	if len(labels) != 2 {
+		t.Fatalf("labeled %d hosts, want 2", len(labels))
+	}
+	g := labels[gnut]
+	if g == nil || !g.IsTrader() || g.Primary() != AppGnutella || g.MatchedFlows != 2 {
+		t.Errorf("gnutella host label = %+v", g)
+	}
+	m := labels[mixed]
+	if m == nil || m.Primary() != AppBitTorrent {
+		t.Errorf("mixed host primary = %v, want bittorrent", m.Primary())
+	}
+	if labels[clean] != nil {
+		t.Error("clean host should not be labeled")
+	}
+}
+
+func TestLabelHostsFilter(t *testing.T) {
+	internal := flow.MustParseSubnet("128.2.0.0/16")
+	records := []flow.Record{
+		mkFlow(flow.MakeIP(128, 2, 0, 1), []byte("GNUTELLA")),
+		mkFlow(flow.MakeIP(9, 9, 9, 9), []byte("GNUTELLA")),
+	}
+	labels := LabelHosts(records, internal.Contains)
+	if len(labels) != 1 {
+		t.Fatalf("labeled %d hosts, want 1", len(labels))
+	}
+}
+
+func TestTraders(t *testing.T) {
+	a := flow.MakeIP(128, 2, 0, 1)
+	b := flow.MakeIP(128, 2, 0, 2)
+	records := []flow.Record{
+		mkFlow(a, append([]byte{0xe3, 0x01}, []byte("hello")...)),
+		mkFlow(b, []byte("plain web traffic")),
+	}
+	traders := Traders(records, nil)
+	if !traders[a] || traders[b] {
+		t.Errorf("Traders = %v", traders)
+	}
+}
+
+func TestHostLabelPrimaryEmpty(t *testing.T) {
+	hl := &HostLabel{Apps: map[App]int{}}
+	if hl.Primary() != AppUnknown {
+		t.Errorf("empty Primary = %v", hl.Primary())
+	}
+	if hl.IsTrader() {
+		t.Error("empty label should not be a trader")
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import "math"
+
+// Accumulator maintains running count, mean, min, max, and variance of a
+// stream of observations using Welford's algorithm. It is used by the
+// per-host feature extractors, which see each host's flows as a stream.
+//
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations added.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean, or 0 if no observations were added.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Sum returns the running total.
+func (a *Accumulator) Sum() float64 { return a.mean * float64(a.n) }
+
+// Min returns the smallest observation, or 0 if none were added.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 if none were added.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance, or 0 for n < 2.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Merge folds another accumulator's observations into a, as if every
+// observation added to other had been added to a (Chan et al. parallel
+// variance combination).
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *other
+		return
+	}
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+	n := a.n + other.n
+	delta := other.mean - a.mean
+	a.mean += delta * float64(other.n) / float64(n)
+	a.m2 += other.m2 + delta*delta*float64(a.n)*float64(other.n)/float64(n)
+	a.n = n
+}
+
+// Counter counts occurrences of two-outcome trials (e.g. failed vs.
+// successful connections) and reports the failure rate.
+//
+// The zero value is ready to use.
+type Counter struct {
+	hits  int
+	total int
+}
+
+// Observe records one trial; hit marks the counted outcome.
+func (c *Counter) Observe(hit bool) {
+	c.total++
+	if hit {
+		c.hits++
+	}
+}
+
+// Hits returns the number of counted outcomes.
+func (c *Counter) Hits() int { return c.hits }
+
+// Total returns the number of trials.
+func (c *Counter) Total() int { return c.total }
+
+// Rate returns hits/total, or 0 when no trials were observed.
+func (c *Counter) Rate() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.total)
+}

@@ -1,0 +1,342 @@
+// Package campus generates the background (non-P2P) traffic of the
+// monitored enterprise network: human-driven web browsing with
+// heavy-tailed think times, plus the periodic machine chores real desktop
+// fleets run (NTP, mail polling, update checks). These hosts are the
+// population the paper's initial data-reduction step must mostly discard
+// and the θ tests must not flag.
+package campus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+)
+
+// Config parameterizes one background host.
+type Config struct {
+	// Host is the internal address.
+	Host flow.IP
+	// Window bounds the host's activity (the daily collection window).
+	Window flow.Window
+	// WebPool is the external web-server population.
+	WebPool *synth.ExternalIPPool
+	// MeanSessions is the expected number of browsing sessions in the
+	// window.
+	MeanSessions float64
+	// FailRate is the host's base probability that a connection attempt
+	// fails (stale links, unreachable hosts, local misconfiguration).
+	FailRate float64
+	// ReqMedian/ReqSigma shape the log-normal of uploaded bytes per flow.
+	ReqMedian float64
+	ReqSigma  float64
+	// NTP enables a 1024-second NTP poll to a fixed server.
+	NTP bool
+	// MailPoll enables periodic IMAP polling to a fixed mail host.
+	MailPoll time.Duration
+	// UpdateCheck enables periodic software-update HTTP checks.
+	UpdateCheck time.Duration
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Host == 0 {
+		return fmt.Errorf("campus: host address unset")
+	}
+	if c.WebPool == nil {
+		return fmt.Errorf("campus: web pool unset")
+	}
+	if c.Window.Duration() <= 0 {
+		return fmt.Errorf("campus: empty activity window")
+	}
+	if c.MeanSessions < 0 || c.FailRate < 0 || c.FailRate > 1 {
+		return fmt.Errorf("campus: invalid rates (sessions=%v fail=%v)", c.MeanSessions, c.FailRate)
+	}
+	return nil
+}
+
+// Host simulates one background machine.
+type Host struct {
+	cfg   Config
+	sim   *simnet.Simulator
+	rng   *rand.Rand
+	ports synth.PortAlloc
+
+	// pace is the user's personality: a per-host multiplier on think
+	// times, so no two humans share the same timing distribution.
+	pace float64
+	// assetSpread is the host's page-asset fetch-gap scale (browser,
+	// link speed, and page mix differ per machine); without it, every
+	// host's sub-second interstitial mass would look identical and
+	// ordinary web hosts would co-cluster under θ_hm.
+	assetSpread time.Duration
+	// modes are the user's think-time mixture: humans alternate between
+	// activities (skimming, reading, stepping away), each with its own
+	// time scale and per-person weight. The mixture gives every host a
+	// multi-modal, individual timing distribution.
+	modeScale  [3]float64
+	modeWeight [3]float64
+	// thinkAlpha is the host's think-time tail exponent; humans differ in
+	// burstiness, not just speed.
+	thinkAlpha float64
+	// pageAssets is the host's typical page-asset fan-out (site mix).
+	pageAssets int
+
+	ntpServer  flow.IP
+	mailServer flow.IP
+	updateHost flow.IP
+}
+
+// New creates the host and derives its private RNG stream.
+func New(cfg Config, sim *simnet.Simulator) (*Host, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Host{cfg: cfg, sim: sim, rng: sim.Fork()}
+	h.pace = simnet.LogNormalMedian(h.rng, 1, 0.8)
+	if h.pace < 0.15 {
+		h.pace = 0.15
+	}
+	if h.pace > 8 {
+		h.pace = 8
+	}
+	h.assetSpread = time.Duration(simnet.LogNormalMedian(h.rng, float64(400*time.Millisecond), 0.9))
+	if h.assetSpread < 50*time.Millisecond {
+		h.assetSpread = 50 * time.Millisecond
+	}
+	if h.assetSpread > 5*time.Second {
+		h.assetSpread = 5 * time.Second
+	}
+	var totalWeight float64
+	for i := range h.modeScale {
+		h.modeScale[i] = simnet.LogNormalMedian(h.rng, 1, 1.1)
+		h.modeWeight[i] = 0.1 + h.rng.Float64()
+		totalWeight += h.modeWeight[i]
+	}
+	for i := range h.modeWeight {
+		h.modeWeight[i] /= totalWeight
+	}
+	h.thinkAlpha = 1.1 + h.rng.Float64()*1.4
+	h.pageAssets = 2 + h.rng.Intn(6)
+	h.ntpServer = cfg.WebPool.PickUniform(h.rng)
+	h.mailServer = cfg.WebPool.PickUniform(h.rng)
+	h.updateHost = cfg.WebPool.PickUniform(h.rng)
+	return h, nil
+}
+
+// Start schedules the host's activity for the window.
+func (h *Host) Start() {
+	// Browsing sessions arrive as a Poisson process across the window.
+	n := poisson(h.rng, h.cfg.MeanSessions)
+	for i := 0; i < n; i++ {
+		at := h.cfg.Window.From.Add(simnet.UniformDur(h.rng, 0, h.cfg.Window.Duration()))
+		h.sim.Schedule(at, h.browseSession)
+	}
+	if h.cfg.NTP {
+		h.sim.Schedule(h.cfg.Window.From.Add(simnet.UniformDur(h.rng, 0, 1024*time.Second)), h.ntpPoll)
+	}
+	if h.cfg.MailPoll > 0 {
+		h.sim.Schedule(h.cfg.Window.From.Add(simnet.UniformDur(h.rng, 0, h.cfg.MailPoll)), h.mailCheck)
+	}
+	if h.cfg.UpdateCheck > 0 {
+		h.sim.Schedule(h.cfg.Window.From.Add(simnet.UniformDur(h.rng, 0, h.cfg.UpdateCheck)), h.updateCheck)
+	}
+}
+
+// browseSession models one human browsing burst: a run of page fetches
+// separated by Pareto think times.
+func (h *Host) browseSession() {
+	fetches := 3 + h.rng.Intn(30)
+	h.fetchThenThink(fetches)
+}
+
+func (h *Host) fetchThenThink(remaining int) {
+	if remaining <= 0 || !h.cfg.Window.Contains(h.sim.Now()) {
+		return
+	}
+	h.fetchPage()
+	think := time.Duration(simnet.Pareto(h.rng, 2*h.pace*h.thinkMode(), h.thinkAlpha) * float64(time.Second))
+	if think > 10*time.Minute {
+		think = 10 * time.Minute
+	}
+	h.sim.After(think, func() { h.fetchThenThink(remaining - 1) })
+}
+
+// thinkMode draws the current activity mode's time scale.
+func (h *Host) thinkMode() float64 {
+	u := h.rng.Float64()
+	for i, w := range h.modeWeight {
+		if u < w {
+			return h.modeScale[i]
+		}
+		u -= w
+	}
+	return h.modeScale[len(h.modeScale)-1]
+}
+
+// fetchPage issues the flows of one page load: the page itself plus a few
+// asset fetches, possibly to secondary servers.
+func (h *Host) fetchPage() {
+	primary := h.cfg.WebPool.Pick()
+	flows := 1 + h.rng.Intn(h.pageAssets)
+	for i := 0; i < flows; i++ {
+		dst := primary
+		if i > 0 && simnet.Bernoulli(h.rng, 0.8) {
+			dst = h.cfg.WebPool.Pick() // CDN / third-party asset
+		}
+		success := !simnet.Bernoulli(h.rng, h.cfg.FailRate)
+		req := simnet.LogNormalMedian(h.rng, h.cfg.ReqMedian, h.cfg.ReqSigma)
+		rsp := simnet.LogNormalMedian(h.rng, 12000, 1.2)
+		delay := simnet.UniformDur(h.rng, 0, h.assetSpread)
+		h.sim.After(delay, func() {
+			synth.EmitFlow(h.sim, synth.FlowSpec{
+				Src: h.cfg.Host, Dst: dst,
+				SrcPort: h.ports.Next(), DstPort: 80, Proto: flow.TCP,
+				Duration: simnet.UniformDur(h.rng, 100*time.Millisecond, 4*time.Second),
+				ReqBytes: uint64(req), RspBytes: uint64(rsp),
+				Success: success,
+				Payload: []byte("GET / HTTP/1.1\r\nHost: www\r\n"),
+			})
+		})
+	}
+}
+
+// ntpPoll emits the classic 1024-second NTP cadence.
+func (h *Host) ntpPoll() {
+	if !h.cfg.Window.Contains(h.sim.Now()) {
+		return
+	}
+	synth.EmitFlow(h.sim, synth.FlowSpec{
+		Src: h.cfg.Host, Dst: h.ntpServer,
+		SrcPort: h.ports.Next(), DstPort: 123, Proto: flow.UDP,
+		Duration: 80 * time.Millisecond,
+		ReqBytes: 48, RspBytes: 48,
+		Success: !simnet.Bernoulli(h.rng, h.cfg.FailRate/4),
+	})
+	h.sim.After(simnet.Jitter(h.rng, 1024*time.Second, 0.01), h.ntpPoll)
+}
+
+// mailCheck polls the mail server on a fixed timer.
+func (h *Host) mailCheck() {
+	if !h.cfg.Window.Contains(h.sim.Now()) {
+		return
+	}
+	synth.EmitFlow(h.sim, synth.FlowSpec{
+		Src: h.cfg.Host, Dst: h.mailServer,
+		SrcPort: h.ports.Next(), DstPort: 993, Proto: flow.TCP,
+		Duration: simnet.UniformDur(h.rng, 200*time.Millisecond, 2*time.Second),
+		ReqBytes: uint64(simnet.LogNormalMedian(h.rng, 400, 0.4)),
+		RspBytes: uint64(simnet.LogNormalMedian(h.rng, 2000, 1.0)),
+		Success:  !simnet.Bernoulli(h.rng, h.cfg.FailRate/4),
+	})
+	h.sim.After(simnet.Jitter(h.rng, h.cfg.MailPoll, 0.15), h.mailCheck)
+}
+
+// updateCheck models periodic software-update probes.
+func (h *Host) updateCheck() {
+	if !h.cfg.Window.Contains(h.sim.Now()) {
+		return
+	}
+	synth.EmitFlow(h.sim, synth.FlowSpec{
+		Src: h.cfg.Host, Dst: h.updateHost,
+		SrcPort: h.ports.Next(), DstPort: 80, Proto: flow.TCP,
+		Duration: simnet.UniformDur(h.rng, 100*time.Millisecond, time.Second),
+		ReqBytes: uint64(simnet.LogNormalMedian(h.rng, 500, 0.3)),
+		RspBytes: uint64(simnet.LogNormalMedian(h.rng, 1500, 0.5)),
+		Success:  !simnet.Bernoulli(h.rng, h.cfg.FailRate/3),
+		Payload:  []byte("GET /update/check HTTP/1.1\r\n"),
+	})
+	h.sim.After(simnet.Jitter(h.rng, h.cfg.UpdateCheck, 0.1), h.updateCheck)
+}
+
+// poisson samples a Poisson variate by Knuth's method (fine for small
+// means).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+// PopulationConfig shapes a fleet of background hosts.
+type PopulationConfig struct {
+	// Hosts is the number of background machines.
+	Hosts int
+	// Window is the daily collection window.
+	Window flow.Window
+	// WebPool is shared across the fleet.
+	WebPool *synth.ExternalIPPool
+}
+
+// NewPopulation builds a heterogeneous fleet: most hosts are light web
+// browsers; some run periodic chores; failure rates vary host to host the
+// way a real campus's do.
+func NewPopulation(cfg PopulationConfig, plan *synth.AddrPlan, sim *simnet.Simulator) ([]*Host, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("campus: population needs hosts, got %d", cfg.Hosts)
+	}
+	rng := sim.Fork()
+	hosts := make([]*Host, 0, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		// Failure rates are bimodal on a real campus: most hosts fail
+		// rarely (the occasional dead link), while a flaky minority —
+		// misconfigured clients, hosts chasing dead services — fails
+		// often. The initial data-reduction step's power comes from this
+		// gap between ordinary hosts and P2P-style failure rates.
+		fail := simnet.LogNormalMedian(rng, 0.07, 0.6)
+		if simnet.Bernoulli(rng, 0.3) {
+			fail = simnet.LogNormalMedian(rng, 0.32, 0.45)
+		}
+		if fail > 0.65 {
+			fail = 0.65
+		}
+		hc := Config{
+			Host:         plan.NextInternal(),
+			Window:       cfg.Window,
+			WebPool:      cfg.WebPool,
+			MeanSessions: 2 + simnet.Exp(rng, 4),
+			FailRate:     fail,
+			ReqMedian:    400 + rng.Float64()*900,
+			ReqSigma:     0.5 + rng.Float64()*0.4,
+			NTP:          simnet.Bernoulli(rng, 0.35),
+		}
+		if simnet.Bernoulli(rng, 0.4) {
+			hc.MailPoll = simnet.UniformDur(rng, 2*time.Minute, 11*time.Minute)
+		}
+		if simnet.Bernoulli(rng, 0.25) {
+			hc.UpdateCheck = simnet.UniformDur(rng, 20*time.Minute, 110*time.Minute)
+		}
+		h, err := New(hc, sim)
+		if err != nil {
+			return nil, err
+		}
+		hosts = append(hosts, h)
+	}
+	return hosts, nil
+}
+
+// StartAll starts every host in the fleet.
+func StartAll(hosts []*Host) {
+	for _, h := range hosts {
+		h.Start()
+	}
+}
+
+// Addr returns the host's internal address.
+func (h *Host) Addr() flow.IP { return h.cfg.Host }

@@ -1,0 +1,166 @@
+package campus
+
+import (
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/simnet"
+	"plotters/internal/stats"
+	"plotters/internal/synth"
+)
+
+func window() flow.Window {
+	start := time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
+	return flow.Window{From: start, To: start.Add(6 * time.Hour)}
+}
+
+func TestConfigValidate(t *testing.T) {
+	sim := simnet.New(window().From, 1)
+	pool := synth.NewExternalIPPool(sim.Fork(), 50, 1.2)
+	good := Config{Host: 1, Window: window(), WebPool: pool, MeanSessions: 2, FailRate: 0.1, ReqMedian: 500, ReqSigma: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Window: window(), WebPool: pool},                            // no host
+		{Host: 1, WebPool: pool},                                     // no window
+		{Host: 1, Window: window()},                                  // no pool
+		{Host: 1, Window: window(), WebPool: pool, MeanSessions: -1}, // bad sessions
+		{Host: 1, Window: window(), WebPool: pool, FailRate: 1.5},    // bad fail rate
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(bad[0], sim); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestHostGeneratesPlausibleTraffic(t *testing.T) {
+	sim := simnet.New(window().From, 2)
+	pool := synth.NewExternalIPPool(sim.Fork(), 200, 1.2)
+	cfg := Config{
+		Host: flow.MakeIP(128, 2, 0, 9), Window: window(), WebPool: pool,
+		MeanSessions: 8, FailRate: 0.2, ReqMedian: 600, ReqSigma: 0.6,
+		NTP: true, MailPoll: 5 * time.Minute, UpdateCheck: 30 * time.Minute,
+	}
+	h, err := New(cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Addr() != cfg.Host {
+		t.Errorf("Addr = %v", h.Addr())
+	}
+	h.Start()
+	sim.Run(window().To)
+	records := sim.Records()
+	if len(records) < 50 {
+		t.Fatalf("too few records: %d", len(records))
+	}
+	ntp, mail := 0, 0
+	var failed int
+	for i := range records {
+		r := &records[i]
+		if r.Src != cfg.Host {
+			t.Fatal("record from wrong source")
+		}
+		if !window().Contains(r.Start) {
+			t.Fatalf("record outside window: %v", r.Start)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("invalid record: %v", err)
+		}
+		if r.DstPort == 123 {
+			ntp++
+		}
+		if r.DstPort == 993 {
+			mail++
+		}
+		if r.Failed() {
+			failed++
+		}
+	}
+	if ntp < 10 {
+		t.Errorf("NTP polls = %d, want ≈21 over 6h", ntp)
+	}
+	if mail < 30 {
+		t.Errorf("mail polls = %d, want ≈72 over 6h", mail)
+	}
+	rate := float64(failed) / float64(len(records))
+	if rate < 0.05 || rate > 0.4 {
+		t.Errorf("failure rate = %.2f, want near configured 0.2", rate)
+	}
+}
+
+func TestPopulationHeterogeneity(t *testing.T) {
+	sim := simnet.New(window().From, 3)
+	pool := synth.NewExternalIPPool(sim.Fork(), 500, 1.3)
+	var plan synth.AddrPlan
+	fleet, err := NewPopulation(PopulationConfig{Hosts: 60, Window: window(), WebPool: pool}, &plan, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 60 {
+		t.Fatalf("fleet = %d", len(fleet))
+	}
+	StartAll(fleet)
+	sim.Run(window().To)
+	records := sim.Records()
+
+	feats := flow.ExtractFeatures(records, flow.FeatureOptions{})
+	if len(feats) < 55 {
+		t.Fatalf("only %d hosts generated traffic", len(feats))
+	}
+	var fails, avgs []float64
+	for _, f := range feats {
+		fails = append(fails, f.FailedRate())
+		avgs = append(avgs, f.AvgBytesPerFlow())
+	}
+	failSummary, _ := stats.Summarize(fails)
+	avgSummary, _ := stats.Summarize(avgs)
+	// Bimodal failure rates: low floor, flaky tail.
+	if failSummary.Min > 0.1 || failSummary.Max < 0.25 {
+		t.Errorf("failure rates not spread: %s", failSummary)
+	}
+	// Web-scale upload volumes (hundreds to a couple thousand bytes).
+	if avgSummary.Median < 200 || avgSummary.Median > 3000 {
+		t.Errorf("median avg bytes/flow = %v, not web-like", avgSummary.Median)
+	}
+	_ = failSummary
+}
+
+func TestPopulationValidation(t *testing.T) {
+	sim := simnet.New(window().From, 4)
+	pool := synth.NewExternalIPPool(sim.Fork(), 50, 1.2)
+	var plan synth.AddrPlan
+	if _, err := NewPopulation(PopulationConfig{Hosts: 0, Window: window(), WebPool: pool}, &plan, sim); err == nil {
+		t.Error("zero hosts accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []flow.Record {
+		sim := simnet.New(window().From, 7)
+		pool := synth.NewExternalIPPool(sim.Fork(), 100, 1.2)
+		var plan synth.AddrPlan
+		fleet, err := NewPopulation(PopulationConfig{Hosts: 10, Window: window(), WebPool: pool}, &plan, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		StartAll(fleet)
+		sim.Run(window().To)
+		return sim.Records()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || !a[i].Start.Equal(b[i].Start) || a[i].SrcBytes != b[i].SrcBytes {
+			t.Fatalf("runs diverge at record %d", i)
+		}
+	}
+}

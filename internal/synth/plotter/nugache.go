@@ -1,0 +1,254 @@
+package plotter
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/kademlia"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+)
+
+// nugachePort is Nugache's signature listening port (TCP port 8).
+const nugachePort = 8
+
+// NugacheConfig parameterizes a Nugache trace. Nugache maintains an
+// explicit peer list over encrypted TCP links; the honeynet trace shows
+// three traits the paper leans on: >65% failed connections (dead peers),
+// short machine timers (~10/25/50-second connection intervals), and —
+// critically — wildly uneven per-bot activity, which is why the paper
+// detects only 30% of Nugache bots.
+type NugacheConfig struct {
+	// Bots is the number of infected machines (82 in the paper's trace).
+	Bots int
+	// Day is the trace day.
+	Day time.Time
+	// OverlayNodes is the Nugache peer population size.
+	OverlayNodes int
+	// PeerListSize is each bot's maintained peer list.
+	PeerListSize int
+	// Intervals are the machine timers between connection attempts; the
+	// paper observes ~10, ~25 and ~50 seconds.
+	Intervals []time.Duration
+	// TimerJitter wobbles the intervals fractionally.
+	TimerJitter float64
+	// MsgMedian is the median bytes uploaded per gossip flow.
+	MsgMedian float64
+	// ActivitySigma spreads per-bot activity (log-normal): large values
+	// reproduce the trace's low-and-variable bot activity.
+	ActivitySigma float64
+	// BaseBurst and BaseSleep shape the duty cycle: bots gossip in bursts
+	// separated by long quiet periods whose length divides by the bot's
+	// activity factor.
+	BaseBurst time.Duration
+	BaseSleep time.Duration
+	// DeadPeerFraction is the share of each bot's peer list pointing at
+	// permanently dead hosts (uninfected/cleaned machines), driving the
+	// very high failure rate.
+	DeadPeerFraction float64
+	// AvoidSubnets keeps overlay peers out of the given prefixes.
+	AvoidSubnets []flow.Subnet
+}
+
+// DefaultNugacheConfig mirrors the paper's trace: 82 bots, one day.
+func DefaultNugacheConfig(day time.Time) NugacheConfig {
+	return NugacheConfig{
+		Bots:             82,
+		Day:              day,
+		OverlayNodes:     1200,
+		PeerListSize:     60,
+		Intervals:        []time.Duration{10 * time.Second, 25 * time.Second, 50 * time.Second},
+		TimerJitter:      0.02,
+		MsgMedian:        2000,
+		ActivitySigma:    1.5,
+		BaseBurst:        20 * time.Minute,
+		BaseSleep:        40 * time.Minute,
+		DeadPeerFraction: 0.3,
+		AvoidSubnets:     synth.InternalSubnets(),
+	}
+}
+
+// Validate checks the configuration.
+func (c *NugacheConfig) Validate() error {
+	if c.Bots <= 0 || c.Bots > 500 {
+		return fmt.Errorf("plotter: nugache bots must be 1..500, got %d", c.Bots)
+	}
+	if c.OverlayNodes <= 0 || c.PeerListSize <= 0 {
+		return fmt.Errorf("plotter: overlay/peer list sizes must be positive")
+	}
+	if len(c.Intervals) == 0 {
+		return fmt.Errorf("plotter: nugache needs at least one timer interval")
+	}
+	for _, d := range c.Intervals {
+		if d <= 0 {
+			return fmt.Errorf("plotter: non-positive interval %v", d)
+		}
+	}
+	if c.MsgMedian <= 0 || c.BaseBurst <= 0 || c.BaseSleep <= 0 {
+		return fmt.Errorf("plotter: sizes and duty-cycle durations must be positive")
+	}
+	if c.DeadPeerFraction < 0 || c.DeadPeerFraction >= 1 {
+		return fmt.Errorf("plotter: dead peer fraction must be in [0,1), got %v", c.DeadPeerFraction)
+	}
+	return nil
+}
+
+// GenerateNugache synthesizes a 24-hour Nugache honeynet trace.
+func GenerateNugache(cfg NugacheConfig, seed int64) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	day := dayStart(cfg.Day)
+	sim := simnet.New(day, seed)
+	ov, err := newBotnetOverlay(day, cfg.OverlayNodes, sim, cfg.AvoidSubnets)
+	if err != nil {
+		return nil, err
+	}
+	deadPool := synth.NewExternalIPPool(sim.Fork(), 2000, 1.1)
+
+	bots := make([]flow.IP, cfg.Bots)
+	for i := range bots {
+		bots[i] = HoneynetSubnet.Addr(uint32(100 + i))
+		b := &nugacheBot{
+			cfg:  cfg,
+			addr: bots[i],
+			sim:  sim,
+			ov:   ov,
+			rng:  sim.Fork(),
+		}
+		b.activity = simnet.LogNormalMedian(b.rng, 1, cfg.ActivitySigma)
+		if b.activity > 8 {
+			b.activity = 8
+		}
+		b.buildPeerList(deadPool)
+		b.start()
+	}
+	sim.Run(day.Add(24 * time.Hour))
+	records := sim.Records()
+	flow.SortByStart(records)
+	return &Trace{Records: records, Bots: bots}, nil
+}
+
+// nugachePeer is one peer-list entry; dead entries never answer.
+type nugachePeer struct {
+	contact kademlia.Contact
+	dead    bool
+}
+
+// nugacheBot is one infected machine.
+type nugacheBot struct {
+	cfg      NugacheConfig
+	addr     flow.IP
+	sim      *simnet.Simulator
+	ov       *kademlia.Overlay
+	rng      *rand.Rand
+	ports    synth.PortAlloc
+	peers    []nugachePeer
+	activity float64
+
+	// partner is the peer-list index of the current gossip partner;
+	// Nugache exchanges several messages with one peer before moving on,
+	// which is what puts its 10/25/50-second timers into the
+	// *per-destination* interstitial distribution (paper Figure 3(b)).
+	partner     int
+	partnerUses int
+}
+
+// buildPeerList mixes live overlay peers with dead addresses.
+func (b *nugacheBot) buildPeerList(deadPool *synth.ExternalIPPool) {
+	live := b.ov.SampleContacts(b.rng, b.cfg.PeerListSize)
+	b.peers = make([]nugachePeer, 0, b.cfg.PeerListSize)
+	for _, c := range live {
+		if simnet.Bernoulli(b.rng, b.cfg.DeadPeerFraction) {
+			b.peers = append(b.peers, nugachePeer{
+				contact: kademlia.Contact{ID: kademlia.RandomID(b.rng), Addr: deadPool.PickUniform(b.rng), Port: nugachePort},
+				dead:    true,
+			})
+			continue
+		}
+		c.Port = nugachePort
+		b.peers = append(b.peers, nugachePeer{contact: c})
+	}
+}
+
+// start arms the duty cycle: the bot sleeps, bursts, repeats; per-bot
+// activity scales how long it sleeps.
+func (b *nugacheBot) start() {
+	b.sim.After(simnet.UniformDur(b.rng, 0, b.sleepLen()), b.burst)
+}
+
+func (b *nugacheBot) sleepLen() time.Duration {
+	d := time.Duration(float64(simnet.ExpDur(b.rng, b.cfg.BaseSleep)) / b.activity)
+	if d < time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// burst runs one gossip burst, then schedules the next sleep.
+func (b *nugacheBot) burst() {
+	length := simnet.ExpDur(b.rng, b.cfg.BaseBurst)
+	if length < 30*time.Second {
+		length = 30 * time.Second
+	}
+	end := b.sim.Now().Add(length)
+	b.gossipStep(end)
+}
+
+// gossipStep contacts one peer-list entry, then waits one of the machine
+// intervals — the 10/25/50-second timers that give Nugache its
+// interstitial signature.
+func (b *nugacheBot) gossipStep(burstEnd time.Time) {
+	if !b.sim.Now().Before(burstEnd) {
+		b.sim.After(b.sleepLen(), b.burst)
+		return
+	}
+	if b.partnerUses <= 0 {
+		b.partner = b.rng.Intn(len(b.peers))
+		b.partnerUses = 3 + b.rng.Intn(10)
+	}
+	b.partnerUses--
+	p := b.peers[b.partner]
+	ok := !p.dead && b.ov.Online(p.contact.ID, b.sim.Now()) && !simnet.Bernoulli(b.rng, 0.08)
+	synth.EmitFlow(b.sim, synth.FlowSpec{
+		Src: b.addr, Dst: p.contact.Addr,
+		SrcPort: b.ports.Next(), DstPort: nugachePort, Proto: flow.TCP,
+		Duration: simnet.UniformDur(b.rng, 200*time.Millisecond, 3*time.Second),
+		ReqBytes: uint64(simnet.LogNormalMedian(b.rng, b.cfg.MsgMedian, 0.4)),
+		RspBytes: uint64(simnet.LogNormalMedian(b.rng, b.cfg.MsgMedian*1.2, 0.4)),
+		Success:  ok,
+		// Encrypted gossip: high-entropy bytes, no signature to match.
+		Payload: []byte{0x9f, 0x3a, 0xd2, 0x41, 0x07},
+	})
+	// Live partners also dial back — the encrypted mesh is symmetric, so
+	// the border sees inbound TCP port 8 connections at the bot too.
+	if ok && simnet.Bernoulli(b.rng, 0.15) {
+		peer := p.contact
+		b.sim.After(simnet.UniformDur(b.rng, time.Second, 20*time.Second), func() {
+			synth.EmitFlow(b.sim, synth.FlowSpec{
+				Src: peer.Addr, Dst: b.addr,
+				SrcPort: 50000 + uint16(b.rng.Intn(10000)), DstPort: nugachePort, Proto: flow.TCP,
+				Duration: simnet.UniformDur(b.rng, 200*time.Millisecond, 3*time.Second),
+				ReqBytes: uint64(simnet.LogNormalMedian(b.rng, b.cfg.MsgMedian, 0.4)),
+				RspBytes: uint64(simnet.LogNormalMedian(b.rng, b.cfg.MsgMedian, 0.4)),
+				Success:  true,
+				Payload:  []byte{0x4e, 0x81, 0x22, 0x7c},
+			})
+		})
+	}
+	// Rarely, a successful exchange teaches the bot a new peer. The
+	// replacement never hits the active partner slot.
+	if ok && simnet.Bernoulli(b.rng, 0.02) {
+		fresh := b.ov.SampleContacts(b.rng, 1)[0]
+		fresh.Port = nugachePort
+		if slot := b.rng.Intn(len(b.peers)); slot != b.partner {
+			b.peers[slot] = nugachePeer{contact: fresh}
+		}
+	}
+	interval := b.cfg.Intervals[b.rng.Intn(len(b.cfg.Intervals))]
+	b.sim.After(simnet.Jitter(b.rng, interval, b.cfg.TimerJitter), func() {
+		b.gossipStep(burstEnd)
+	})
+}

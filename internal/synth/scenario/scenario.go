@@ -1,0 +1,225 @@
+// Package scenario assembles complete evaluation datasets: CMU-like
+// campus days (background hosts plus embedded Traders) and the two
+// honeynet Plotter traces, mirroring §III of the paper. Everything is
+// seeded and deterministic.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/kademlia"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+	"plotters/internal/synth/campus"
+	"plotters/internal/synth/plotter"
+	"plotters/internal/synth/trader"
+)
+
+// DayConfig shapes one simulated collection day.
+type DayConfig struct {
+	// Day is the calendar day; collection runs 9 a.m.–3 p.m.
+	Day time.Time
+	// Seed drives all randomness for the day.
+	Seed int64
+	// CampusHosts is the background (non-P2P) host count.
+	CampusHosts int
+	// Gnutella, EMule, and BitTorrent are Trader counts per application.
+	Gnutella   int
+	EMule      int
+	BitTorrent int
+	// PeerNetworkNodes sizes the file-sharing peer population.
+	PeerNetworkNodes int
+}
+
+// DefaultDayConfig returns the evaluation's per-day shape: a few hundred
+// background hosts and a few dozen Traders, scaled down from the campus
+// trace but preserving the population ratios that matter (≈10% Traders).
+func DefaultDayConfig(day time.Time, seed int64) DayConfig {
+	return DayConfig{
+		Day:              day,
+		Seed:             seed,
+		CampusHosts:      360,
+		Gnutella:         10,
+		EMule:            12,
+		BitTorrent:       20,
+		PeerNetworkNodes: 2500,
+	}
+}
+
+// Validate checks the configuration.
+func (c *DayConfig) Validate() error {
+	if c.CampusHosts <= 0 {
+		return fmt.Errorf("scenario: campus hosts must be positive, got %d", c.CampusHosts)
+	}
+	if c.Gnutella < 0 || c.EMule < 0 || c.BitTorrent < 0 {
+		return fmt.Errorf("scenario: trader counts must be non-negative")
+	}
+	if c.PeerNetworkNodes < 100 {
+		return fmt.Errorf("scenario: peer network too small (%d)", c.PeerNetworkNodes)
+	}
+	return nil
+}
+
+// Day is one synthesized collection day.
+type Day struct {
+	// Window is the 9 a.m.–3 p.m. collection window.
+	Window flow.Window
+	// Records holds all border flows observed in the window, time-sorted.
+	Records []flow.Record
+	// TraderHosts maps each embedded Trader to its application.
+	TraderHosts map[flow.IP]trader.App
+	// CampusHosts lists the background host addresses.
+	CampusHosts []flow.IP
+}
+
+// GenerateDay synthesizes one campus day with embedded Traders.
+func GenerateDay(cfg DayConfig) (*Day, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	window := synth.CollectionWindow(cfg.Day)
+	sim := simnet.New(window.From, cfg.Seed)
+
+	webPool := synth.NewExternalIPPool(sim.Fork(), 2500, 1.3)
+	trackerPool := synth.NewExternalIPPool(sim.Fork(), 60, 1.2)
+
+	peerNet, err := kademlia.NewOverlay(kademlia.OverlayConfig{
+		Nodes:         cfg.PeerNetworkNodes,
+		Start:         window.From.Add(-2 * time.Hour),
+		Horizon:       window.Duration() + 4*time.Hour,
+		MedianSession: 25 * time.Minute,
+		MedianOffline: 2 * time.Hour,
+		SessionSigma:  1.0,
+		AvoidSubnets:  append(synth.InternalSubnets(), plotter.HoneynetSubnet),
+		Port:          6881,
+	}, sim.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: building peer network: %w", err)
+	}
+
+	var plan synth.AddrPlan
+	fleet, err := campus.NewPopulation(campus.PopulationConfig{
+		Hosts:   cfg.CampusHosts,
+		Window:  window,
+		WebPool: webPool,
+	}, &plan, sim)
+	if err != nil {
+		return nil, err
+	}
+	campus.StartAll(fleet)
+	campusAddrs := make([]flow.IP, len(fleet))
+	for i, h := range fleet {
+		campusAddrs[i] = h.Addr()
+	}
+
+	traders := make(map[flow.IP]trader.App)
+	addTraders := func(app trader.App, n int) error {
+		for i := 0; i < n; i++ {
+			host := plan.NextInternal()
+			tc := trader.DefaultConfig(host, app, window, peerNet, trackerPool)
+			rng := sim.Fork()
+			tc.Sessions = 2 + rng.Intn(3)
+			tr, err := trader.New(tc, sim)
+			if err != nil {
+				return err
+			}
+			tr.Start()
+			traders[host] = app
+		}
+		return nil
+	}
+	if err := addTraders(trader.Gnutella, cfg.Gnutella); err != nil {
+		return nil, err
+	}
+	if err := addTraders(trader.EMule, cfg.EMule); err != nil {
+		return nil, err
+	}
+	if err := addTraders(trader.BitTorrent, cfg.BitTorrent); err != nil {
+		return nil, err
+	}
+
+	sim.Run(window.To)
+	records := window.Filter(sim.Records())
+	flow.SortByStart(records)
+	return &Day{
+		Window:      window,
+		Records:     records,
+		TraderHosts: traders,
+		CampusHosts: campusAddrs,
+	}, nil
+}
+
+// DatasetConfig shapes a full evaluation dataset: several collection days
+// plus one Storm and one Nugache honeynet trace (the paper overlays the
+// same 24-hour traces onto every day).
+type DatasetConfig struct {
+	// Days is the number of collection days (the paper uses eight).
+	Days int
+	// FirstDay is the first calendar day.
+	FirstDay time.Time
+	// Seed drives everything.
+	Seed int64
+	// DayTemplate shapes each day (Day and Seed fields are overwritten
+	// per day).
+	DayTemplate DayConfig
+	// Storm and Nugache shape the honeynet traces. Their Day fields are
+	// overwritten with FirstDay.
+	Storm   plotter.StormConfig
+	Nugache plotter.NugacheConfig
+}
+
+// DefaultDatasetConfig mirrors the paper's evaluation: eight days in
+// November 2007, 13 Storm bots, 82 Nugache bots.
+func DefaultDatasetConfig(seed int64) DatasetConfig {
+	first := time.Date(2007, time.November, 5, 0, 0, 0, 0, time.UTC)
+	return DatasetConfig{
+		Days:        8,
+		FirstDay:    first,
+		Seed:        seed,
+		DayTemplate: DefaultDayConfig(first, seed),
+		Storm:       plotter.DefaultStormConfig(first),
+		Nugache:     plotter.DefaultNugacheConfig(first),
+	}
+}
+
+// Dataset is the full synthesized corpus.
+type Dataset struct {
+	Days    []*Day
+	Storm   *plotter.Trace
+	Nugache *plotter.Trace
+}
+
+// GenerateDataset synthesizes the full corpus.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("scenario: days must be positive, got %d", cfg.Days)
+	}
+	ds := &Dataset{}
+	for d := 0; d < cfg.Days; d++ {
+		dayCfg := cfg.DayTemplate
+		dayCfg.Day = cfg.FirstDay.AddDate(0, 0, d)
+		dayCfg.Seed = cfg.Seed + int64(d)*7919
+		day, err := GenerateDay(dayCfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: day %d: %w", d, err)
+		}
+		ds.Days = append(ds.Days, day)
+	}
+	stormCfg := cfg.Storm
+	stormCfg.Day = cfg.FirstDay
+	storm, err := plotter.GenerateStorm(stormCfg, cfg.Seed+100003)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: storm trace: %w", err)
+	}
+	ds.Storm = storm
+	nugCfg := cfg.Nugache
+	nugCfg.Day = cfg.FirstDay
+	nugache, err := plotter.GenerateNugache(nugCfg, cfg.Seed+200003)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: nugache trace: %w", err)
+	}
+	ds.Nugache = nugache
+	return ds, nil
+}

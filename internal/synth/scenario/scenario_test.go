@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/label"
+	"plotters/internal/synth"
+)
+
+func day() time.Time {
+	return time.Date(2007, time.November, 5, 0, 0, 0, 0, time.UTC)
+}
+
+// smallDay returns a cheap day config for tests.
+func smallDay(seed int64) DayConfig {
+	cfg := DefaultDayConfig(day(), seed)
+	cfg.CampusHosts = 60
+	cfg.Gnutella = 2
+	cfg.EMule = 2
+	cfg.BitTorrent = 3
+	cfg.PeerNetworkNodes = 500
+	return cfg
+}
+
+func TestDayConfigValidate(t *testing.T) {
+	good := smallDay(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*DayConfig){
+		func(c *DayConfig) { c.CampusHosts = 0 },
+		func(c *DayConfig) { c.Gnutella = -1 },
+		func(c *DayConfig) { c.PeerNetworkNodes = 10 },
+	}
+	for i, mutate := range mutations {
+		cfg := smallDay(1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDay(t *testing.T) {
+	d, err := GenerateDay(smallDay(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Records) < 1000 {
+		t.Fatalf("day has only %d records", len(d.Records))
+	}
+	if len(d.TraderHosts) != 7 {
+		t.Fatalf("traders = %d, want 7", len(d.TraderHosts))
+	}
+	if len(d.CampusHosts) != 60 {
+		t.Fatalf("campus hosts = %d", len(d.CampusHosts))
+	}
+	// All records inside the collection window and time-sorted.
+	for i := range d.Records {
+		if !d.Window.Contains(d.Records[i].Start) {
+			t.Fatal("record outside window")
+		}
+		if i > 0 && d.Records[i].Start.Before(d.Records[i-1].Start) {
+			t.Fatal("records not sorted")
+		}
+		if !synth.IsInternal(d.Records[i].Src) && !synth.IsInternal(d.Records[i].Dst) {
+			t.Fatal("record touches no internal host")
+		}
+	}
+	// Trader hosts and campus hosts are disjoint.
+	campus := make(map[flow.IP]bool)
+	for _, h := range d.CampusHosts {
+		campus[h] = true
+	}
+	for h := range d.TraderHosts {
+		if campus[h] {
+			t.Fatalf("host %v is both campus and trader", h)
+		}
+	}
+	// Payload labeling rediscovers (at least most of) the planted Traders
+	// and no campus hosts.
+	labeled := label.Traders(d.Records, synth.IsInternal)
+	found := 0
+	for h := range labeled {
+		if _, ok := d.TraderHosts[h]; ok {
+			found++
+		} else {
+			t.Errorf("non-trader host %v labeled as trader", h)
+		}
+	}
+	if found < len(d.TraderHosts)-2 {
+		t.Errorf("labeling found %d of %d traders", found, len(d.TraderHosts))
+	}
+}
+
+func TestGenerateDayDeterminism(t *testing.T) {
+	a, err := GenerateDay(smallDay(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDay(smallDay(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i].Src != b.Records[i].Src || !a.Records[i].Start.Equal(b.Records[i].Start) {
+			t.Fatalf("days diverge at %d", i)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	cfg := DefaultDatasetConfig(5)
+	cfg.Days = 2
+	cfg.DayTemplate = smallDay(5)
+	cfg.Storm.Bots = 3
+	cfg.Storm.OverlayNodes = 400
+	cfg.Storm.SeedPeers = 40
+	cfg.Nugache.Bots = 5
+	cfg.Nugache.OverlayNodes = 300
+	ds, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Days) != 2 {
+		t.Fatalf("days = %d", len(ds.Days))
+	}
+	// Consecutive calendar days.
+	if got := ds.Days[1].Window.From.Sub(ds.Days[0].Window.From); got != 24*time.Hour {
+		t.Errorf("day spacing = %v", got)
+	}
+	// Days differ (different seeds).
+	if len(ds.Days[0].Records) == len(ds.Days[1].Records) {
+		t.Log("day sizes equal (possible but unlikely); checking content")
+		same := true
+		for i := range ds.Days[0].Records {
+			if ds.Days[0].Records[i].Src != ds.Days[1].Records[i].Src {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("two days are identical")
+		}
+	}
+	if len(ds.Storm.Bots) != 3 || len(ds.Nugache.Bots) != 5 {
+		t.Errorf("bot counts = %d/%d", len(ds.Storm.Bots), len(ds.Nugache.Bots))
+	}
+	if len(ds.Storm.Records) == 0 || len(ds.Nugache.Records) == 0 {
+		t.Error("empty bot traces")
+	}
+}
+
+func TestGenerateDatasetValidation(t *testing.T) {
+	cfg := DefaultDatasetConfig(1)
+	cfg.Days = 0
+	if _, err := GenerateDataset(cfg); err == nil {
+		t.Error("zero days accepted")
+	}
+}

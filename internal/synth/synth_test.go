@@ -1,0 +1,199 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/simnet"
+)
+
+func TestInternalSubnets(t *testing.T) {
+	if !IsInternal(flow.MakeIP(128, 2, 4, 5)) || !IsInternal(flow.MakeIP(128, 237, 0, 1)) {
+		t.Error("campus addresses not recognized as internal")
+	}
+	if IsInternal(flow.MakeIP(128, 3, 0, 1)) || IsInternal(flow.MakeIP(8, 8, 8, 8)) {
+		t.Error("external address reported internal")
+	}
+	if len(InternalSubnets()) != 2 {
+		t.Error("expected two campus subnets")
+	}
+}
+
+func TestCollectionWindow(t *testing.T) {
+	day := time.Date(2007, time.November, 5, 13, 45, 0, 0, time.UTC)
+	w := CollectionWindow(day)
+	if w.From.Hour() != 9 || w.To.Hour() != 15 {
+		t.Errorf("window = %v..%v, want 9am..3pm", w.From, w.To)
+	}
+	if w.Duration() != 6*time.Hour {
+		t.Errorf("duration = %v", w.Duration())
+	}
+	if !CollectionStart(day).Equal(w.From) {
+		t.Error("CollectionStart disagrees with window")
+	}
+}
+
+func TestAddrPlan(t *testing.T) {
+	var plan AddrPlan
+	seen := make(map[flow.IP]bool)
+	inA, inB := 0, 0
+	for i := 0; i < 200; i++ {
+		ip := plan.NextInternal()
+		if seen[ip] {
+			t.Fatalf("duplicate address %v", ip)
+		}
+		seen[ip] = true
+		if !IsInternal(ip) {
+			t.Fatalf("allocated non-internal address %v", ip)
+		}
+		if CampusNetA.Contains(ip) {
+			inA++
+		} else {
+			inB++
+		}
+	}
+	if inA == 0 || inB == 0 {
+		t.Errorf("allocation not spread across subnets: %d/%d", inA, inB)
+	}
+}
+
+func TestPortAlloc(t *testing.T) {
+	var ports PortAlloc
+	for i := 0; i < 20000; i++ {
+		p := ports.Next()
+		if p < 49152 {
+			t.Fatalf("port %d below ephemeral range", p)
+		}
+	}
+}
+
+func simAt(t *testing.T) *simnet.Simulator {
+	t.Helper()
+	return simnet.New(time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC), 1)
+}
+
+func TestEmitFlowSuccess(t *testing.T) {
+	sim := simAt(t)
+	EmitFlow(sim, FlowSpec{
+		Src: 1, Dst: 2, SrcPort: 4000, DstPort: 80, Proto: flow.TCP,
+		Duration: time.Second, ReqBytes: 1400, RspBytes: 7000,
+		Success: true, Payload: []byte("GET /"),
+	})
+	records := sim.Records()
+	if len(records) != 1 {
+		t.Fatal("no record emitted")
+	}
+	r := records[0]
+	if r.State != flow.StateEstablished {
+		t.Error("state not established")
+	}
+	// Wire bytes exceed payload bytes (headers added).
+	if r.SrcBytes <= 1400 || r.DstBytes <= 7000 {
+		t.Errorf("wire bytes = %d/%d, want > payload", r.SrcBytes, r.DstBytes)
+	}
+	if r.SrcPkts == 0 || r.DstPkts == 0 {
+		t.Error("zero packets")
+	}
+	if string(r.Payload) != "GET /" {
+		t.Errorf("payload = %q", r.Payload)
+	}
+	if r.Duration() != time.Second {
+		t.Errorf("duration = %v", r.Duration())
+	}
+}
+
+func TestEmitFlowFailedTCP(t *testing.T) {
+	sim := simAt(t)
+	EmitFlow(sim, FlowSpec{
+		Src: 1, Dst: 2, Proto: flow.TCP,
+		Duration: time.Minute, ReqBytes: 5000, RspBytes: 9000,
+		Success: false, Payload: []byte("should vanish"),
+	})
+	r := sim.Records()[0]
+	if !r.Failed() {
+		t.Fatal("state not failed")
+	}
+	if r.SrcBytes != 3*60 || r.SrcPkts != 3 {
+		t.Errorf("failed TCP = %d bytes %d pkts, want 180/3 (SYN retries)", r.SrcBytes, r.SrcPkts)
+	}
+	if r.DstBytes != 0 || r.DstPkts != 0 {
+		t.Error("failed flow has response traffic")
+	}
+	if len(r.Payload) != 0 {
+		t.Error("failed flow kept payload")
+	}
+	if r.Duration() != 3*time.Second {
+		t.Errorf("failed flow duration = %v, want timeout", r.Duration())
+	}
+}
+
+func TestEmitFlowFailedUDP(t *testing.T) {
+	sim := simAt(t)
+	EmitFlow(sim, FlowSpec{
+		Src: 1, Dst: 2, Proto: flow.UDP,
+		ReqBytes: 5000, Success: false,
+	})
+	r := sim.Records()[0]
+	if r.SrcPkts != 1 {
+		t.Errorf("failed UDP pkts = %d, want 1", r.SrcPkts)
+	}
+	// Payload capped at 128 plus one UDP header.
+	if r.SrcBytes != 128+28 {
+		t.Errorf("failed UDP bytes = %d, want 156", r.SrcBytes)
+	}
+}
+
+func TestEmitFlowDefaultDuration(t *testing.T) {
+	sim := simAt(t)
+	EmitFlow(sim, FlowSpec{Src: 1, Dst: 2, Proto: flow.UDP, ReqBytes: 10, Success: true})
+	if d := sim.Records()[0].Duration(); d <= 0 {
+		t.Errorf("default duration = %v", d)
+	}
+}
+
+func TestEmitFlowPayloadTruncated(t *testing.T) {
+	sim := simAt(t)
+	big := make([]byte, 200)
+	EmitFlow(sim, FlowSpec{Src: 1, Dst: 2, Proto: flow.TCP, ReqBytes: 10, Success: true, Payload: big, Duration: time.Second})
+	if got := len(sim.Records()[0].Payload); got != flow.MaxPayload {
+		t.Errorf("payload length = %d, want %d", got, flow.MaxPayload)
+	}
+}
+
+func TestExternalIPPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pool := NewExternalIPPool(rng, 500, 1.3)
+	if pool.Size() != 500 {
+		t.Fatalf("size = %d", pool.Size())
+	}
+	counts := make(map[flow.IP]int)
+	for i := 0; i < 20000; i++ {
+		ip := pool.Pick()
+		if IsInternal(ip) {
+			t.Fatal("pool handed out internal address")
+		}
+		first, _, _, _ := ip.Octets()
+		if first == 0 || first == 10 || first == 127 || first >= 224 {
+			t.Fatalf("pool handed out reserved address %v", ip)
+		}
+		counts[ip]++
+	}
+	// Zipf skew: the most popular address dominates a uniform share.
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount < 3*(20000/500) {
+		t.Errorf("popularity not skewed: max count %d", maxCount)
+	}
+	// Uniform picks also stay in the pool.
+	for i := 0; i < 100; i++ {
+		if IsInternal(pool.PickUniform(rng)) {
+			t.Fatal("uniform pick internal")
+		}
+	}
+}

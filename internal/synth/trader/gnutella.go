@@ -1,0 +1,118 @@
+package trader
+
+import (
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/kademlia"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+)
+
+// gnutellaPort is the conventional Gnutella service port.
+const gnutellaPort = 6346
+
+// gnutellaConnect bootstraps the Gnutella session: attempt ultrapeer
+// handshakes until a few stick, then begin querying and transferring.
+func (t *Trader) gnutellaConnect() {
+	t.ultrapeers = t.ultrapeers[:0]
+	candidates := t.cfg.Network.SampleContacts(t.rng, 12)
+	t.tryUltrapeer(candidates, 0)
+}
+
+// tryUltrapeer walks the candidate list with small gaps between attempts,
+// keeping up to four established ultrapeer links.
+func (t *Trader) tryUltrapeer(candidates []kademlia.Contact, i int) {
+	if !t.inSession() || i >= len(candidates) || len(t.ultrapeers) >= 4 {
+		if len(t.ultrapeers) > 0 && t.inSession() {
+			t.gnutellaQueryLoop()
+		}
+		return
+	}
+	peer := candidates[i]
+	ok := t.peerOnline(peer)
+	synth.EmitFlow(t.sim, synth.FlowSpec{
+		Src: t.cfg.Host, Dst: peer.Addr,
+		SrcPort: t.ports.Next(), DstPort: gnutellaPort, Proto: flow.TCP,
+		Duration: simnet.UniformDur(t.rng, 100*time.Millisecond, 2*time.Second),
+		ReqBytes: 180, RspBytes: 220,
+		Success: ok,
+		Payload: []byte("GNUTELLA CONNECT/0.6\r\nUser-Agent: LIMEWIRE/4.12\r\n"),
+	})
+	if ok {
+		t.ultrapeers = append(t.ultrapeers, peer)
+	}
+	t.sim.After(simnet.UniformDur(t.rng, 200*time.Millisecond, 3*time.Second), func() {
+		t.tryUltrapeer(candidates, i+1)
+	})
+}
+
+// gnutellaQueryLoop models the human search-download cycle: issue a query
+// to the ultrapeers, download from a few result peers, upload to peers
+// fetching shared files, then pause for a human think time.
+func (t *Trader) gnutellaQueryLoop() {
+	if !t.inSession() || len(t.ultrapeers) == 0 {
+		return
+	}
+	// Query each connected ultrapeer (keepalive + query traffic).
+	for _, up := range t.ultrapeers {
+		synth.EmitFlow(t.sim, synth.FlowSpec{
+			Src: t.cfg.Host, Dst: up.Addr,
+			SrcPort: t.ports.Next(), DstPort: gnutellaPort, Proto: flow.TCP,
+			Duration: simnet.UniformDur(t.rng, 50*time.Millisecond, time.Second),
+			ReqBytes: uint64(simnet.LogNormalMedian(t.rng, 250, 0.4)),
+			RspBytes: uint64(simnet.LogNormalMedian(t.rng, 3000, 1.0)),
+			Success:  t.peerOnline(up),
+			Payload:  []byte("GNUTELLA/0.6 QUERY"),
+		})
+	}
+	// Download from result peers: mostly fresh addresses (churn).
+	results := t.cfg.Network.SampleContacts(t.rng, 2+t.rng.Intn(6))
+	for _, peer := range results {
+		peer := peer
+		t.sim.After(simnet.UniformDur(t.rng, time.Second, 40*time.Second), func() {
+			if !t.inSession() {
+				return
+			}
+			ok := t.peerOnline(peer)
+			dl := simnet.LogNormalMedian(t.rng, float64(t.cfg.UploadMedian)*4, t.cfg.UploadSigma)
+			synth.EmitFlow(t.sim, synth.FlowSpec{
+				Src: t.cfg.Host, Dst: peer.Addr,
+				SrcPort: t.ports.Next(), DstPort: gnutellaPort, Proto: flow.TCP,
+				Duration: simnet.UniformDur(t.rng, 5*time.Second, 4*time.Minute),
+				ReqBytes: uint64(simnet.LogNormalMedian(t.rng, 600, 0.5)),
+				RspBytes: uint64(dl),
+				Success:  ok,
+				Payload:  []byte("GET /get/271/shared.mp3 HTTP/1.1\r\n"),
+			})
+		})
+	}
+	// Serve uploads: peers fetch from our shared folder (big SrcBytes).
+	uploads := t.rng.Intn(3)
+	for i := 0; i < uploads; i++ {
+		peer := t.cfg.Network.SampleContacts(t.rng, 1)[0]
+		t.sim.After(simnet.UniformDur(t.rng, time.Second, 2*time.Minute), func() {
+			if !t.inSession() {
+				return
+			}
+			synth.EmitFlow(t.sim, synth.FlowSpec{
+				Src: t.cfg.Host, Dst: peer.Addr,
+				SrcPort: t.ports.Next(), DstPort: gnutellaPort, Proto: flow.TCP,
+				Duration: simnet.UniformDur(t.rng, 10*time.Second, 5*time.Minute),
+				ReqBytes: uint64(simnet.LogNormalMedian(t.rng, t.cfg.UploadMedian, t.cfg.UploadSigma)),
+				RspBytes: uint64(simnet.LogNormalMedian(t.rng, 800, 0.5)),
+				Success:  t.peerOnline(peer),
+				Payload:  []byte("GNUTELLA CONNECT BACK upload"),
+			})
+		})
+	}
+	// Remote leaves fetch from our shared folder over inbound HTTP.
+	if simnet.Bernoulli(t.rng, 0.4) {
+		t.sim.After(simnet.UniformDur(t.rng, time.Second, time.Minute), func() {
+			if t.inSession() {
+				t.emitInbound(gnutellaPort, []byte("GET /get/99/file.mp3 HTTP/1.1\r\n"), 600, t.cfg.UploadMedian)
+			}
+		})
+	}
+	t.sim.After(t.humanGap(8), t.gnutellaQueryLoop)
+}

@@ -1,0 +1,227 @@
+// Package trader generates P2P file-sharing traffic — the Traders the
+// detection pipeline must *not* flag. Three protocol models are provided,
+// matching the applications the paper labels by payload signature:
+// Gnutella, eMule, and BitTorrent. All three share the behavioral traits
+// the paper measures: large transfers (high bytes-per-flow), high peer
+// churn driven by content availability, high failed-connection rates, and
+// human-paced, irregular timing.
+package trader
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/kademlia"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+)
+
+// App selects the file-sharing protocol a Trader runs.
+type App int
+
+// Supported file-sharing applications.
+const (
+	Gnutella App = iota + 1
+	EMule
+	BitTorrent
+)
+
+// String names the application.
+func (a App) String() string {
+	switch a {
+	case Gnutella:
+		return "gnutella"
+	case EMule:
+		return "emule"
+	case BitTorrent:
+		return "bittorrent"
+	default:
+		return fmt.Sprintf("app(%d)", int(a))
+	}
+}
+
+// Config parameterizes one Trader host.
+type Config struct {
+	// Host is the internal address running the file-sharing client.
+	Host flow.IP
+	// App selects the protocol model.
+	App App
+	// Window bounds the host's activity.
+	Window flow.Window
+	// Network is the file-sharing peer population (with churn). Peers,
+	// ultrapeers, and DHT nodes are drawn from it.
+	Network *kademlia.Overlay
+	// Trackers supplies tracker / index-server addresses.
+	Trackers *synth.ExternalIPPool
+	// Sessions is the number of active periods within the window
+	// (measurement studies: most Traders appear once, some a few times).
+	Sessions int
+	// SessionMedian is the median session length.
+	SessionMedian time.Duration
+	// UploadMedian is the median bytes uploaded per transfer flow — the
+	// multi-MB media transfers that dominate Trader volume.
+	UploadMedian float64
+	// UploadSigma spreads transfer sizes.
+	UploadSigma float64
+	// FailBias adds protocol-independent connection failure probability
+	// on top of peer churn.
+	FailBias float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Host == 0 {
+		return fmt.Errorf("trader: host unset")
+	}
+	if c.App < Gnutella || c.App > BitTorrent {
+		return fmt.Errorf("trader: unknown app %d", c.App)
+	}
+	if c.Network == nil {
+		return fmt.Errorf("trader: peer network unset")
+	}
+	if c.Trackers == nil {
+		return fmt.Errorf("trader: tracker pool unset")
+	}
+	if c.Window.Duration() <= 0 {
+		return fmt.Errorf("trader: empty window")
+	}
+	if c.Sessions <= 0 {
+		return fmt.Errorf("trader: sessions must be positive, got %d", c.Sessions)
+	}
+	if c.SessionMedian <= 0 {
+		return fmt.Errorf("trader: session median must be positive")
+	}
+	if c.UploadMedian <= 0 {
+		return fmt.Errorf("trader: upload median must be positive")
+	}
+	return nil
+}
+
+// DefaultConfig returns a Trader shaped like the measurement studies the
+// paper cites: one-to-few sessions a day, minutes-to-hours long, multi-MB
+// transfers.
+func DefaultConfig(host flow.IP, app App, window flow.Window, network *kademlia.Overlay, trackers *synth.ExternalIPPool) Config {
+	return Config{
+		Host: host, App: app, Window: window,
+		Network: network, Trackers: trackers,
+		Sessions:      2,
+		SessionMedian: 100 * time.Minute,
+		UploadMedian:  300_000,
+		UploadSigma:   1.4,
+		FailBias:      0.08,
+	}
+}
+
+// Trader simulates one file-sharing host.
+type Trader struct {
+	cfg   Config
+	sim   *simnet.Simulator
+	rng   *rand.Rand
+	ports synth.PortAlloc
+	rt    *kademlia.RoutingTable
+
+	// pace is the host's behavioral personality: a per-user multiplier on
+	// every human-driven delay. Different people browse, queue, and
+	// refresh at different speeds, which is precisely why Traders do not
+	// share the common timing structure that bots of one botnet do.
+	pace float64
+
+	sessionEnd     time.Time
+	ultrapeers     []kademlia.Contact
+	swarm          []kademlia.Contact
+	announcePeriod time.Duration
+}
+
+// New creates a Trader.
+func New(cfg Config, sim *simnet.Simulator) (*Trader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trader{cfg: cfg, sim: sim, rng: sim.Fork()}
+	t.rt = kademlia.NewRoutingTable(kademlia.RandomID(t.rng), kademlia.DefaultK)
+	t.pace = simnet.LogNormalMedian(t.rng, 1, 0.7)
+	if t.pace < 0.2 {
+		t.pace = 0.2
+	}
+	if t.pace > 6 {
+		t.pace = 6
+	}
+	return t, nil
+}
+
+// paced scales a nominal delay by the host's personality.
+func (t *Trader) paced(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * t.pace)
+}
+
+// Addr returns the Trader's internal address.
+func (t *Trader) Addr() flow.IP { return t.cfg.Host }
+
+// App returns the protocol the Trader runs.
+func (t *Trader) App() App { return t.cfg.App }
+
+// Start schedules the Trader's sessions across the window.
+func (t *Trader) Start() {
+	for i := 0; i < t.cfg.Sessions; i++ {
+		at := t.cfg.Window.From.Add(simnet.UniformDur(t.rng, 0, t.cfg.Window.Duration()*3/4))
+		t.sim.Schedule(at, t.beginSession)
+	}
+}
+
+// beginSession opens one active period: bootstrap into the network, then
+// drive protocol-specific activity until the session ends.
+func (t *Trader) beginSession() {
+	length := time.Duration(simnet.LogNormalMedian(t.rng, float64(t.cfg.SessionMedian), 0.7))
+	end := t.sim.Now().Add(length)
+	if wEnd := t.cfg.Window.To; end.After(wEnd) {
+		end = wEnd
+	}
+	t.sessionEnd = end
+
+	switch t.cfg.App {
+	case Gnutella:
+		t.gnutellaConnect()
+	case EMule:
+		t.emuleConnect()
+	case BitTorrent:
+		t.bittorrentJoin()
+	}
+}
+
+func (t *Trader) inSession() bool {
+	return t.sim.Now().Before(t.sessionEnd) && t.cfg.Window.Contains(t.sim.Now())
+}
+
+// peerOnline folds overlay churn and the failure bias into one
+// success draw for a connection to the given peer.
+func (t *Trader) peerOnline(c kademlia.Contact) bool {
+	return t.cfg.Network.Online(c.ID, t.sim.Now()) && !simnet.Bernoulli(t.rng, t.cfg.FailBias)
+}
+
+// emitInbound records a peer-initiated connection arriving at the
+// Trader — file-sharing hosts serve as much as they fetch, so the border
+// sees inbound traffic on the application port too.
+func (t *Trader) emitInbound(dstPort uint16, payload []byte, reqMedian, rspMedian float64) {
+	peer := t.cfg.Network.SampleContacts(t.rng, 1)[0]
+	synth.EmitFlow(t.sim, synth.FlowSpec{
+		Src: peer.Addr, Dst: t.cfg.Host,
+		SrcPort: 50000 + uint16(t.rng.Intn(10000)), DstPort: dstPort, Proto: flow.TCP,
+		Duration: simnet.UniformDur(t.rng, time.Second, 3*time.Minute),
+		ReqBytes: uint64(simnet.LogNormalMedian(t.rng, reqMedian, 0.6)),
+		RspBytes: uint64(simnet.LogNormalMedian(t.rng, rspMedian, t.cfg.UploadSigma)),
+		Success:  true,
+		Payload:  payload,
+	})
+}
+
+// humanGap samples the Pareto-tailed pause between user-driven actions,
+// scaled by the host's pace personality.
+func (t *Trader) humanGap(scale float64) time.Duration {
+	gap := time.Duration(simnet.Pareto(t.rng, scale*t.pace, 1.2) * float64(time.Second))
+	if gap > 20*time.Minute {
+		gap = 20 * time.Minute
+	}
+	return gap
+}

@@ -1,0 +1,178 @@
+package trader
+
+import (
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/kademlia"
+	"plotters/internal/label"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+)
+
+func window() flow.Window {
+	start := time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
+	return flow.Window{From: start, To: start.Add(6 * time.Hour)}
+}
+
+// testEnv builds a simulator with a peer network and tracker pool.
+func testEnv(t *testing.T, seed int64) (*simnet.Simulator, *kademlia.Overlay, *synth.ExternalIPPool) {
+	t.Helper()
+	sim := simnet.New(window().From, seed)
+	network, err := kademlia.NewOverlay(kademlia.OverlayConfig{
+		Nodes:         600,
+		Start:         window().From.Add(-time.Hour),
+		Horizon:       10 * time.Hour,
+		MedianSession: 25 * time.Minute,
+		MedianOffline: 90 * time.Minute,
+		SessionSigma:  1.0,
+		AvoidSubnets:  synth.InternalSubnets(),
+		Port:          6881,
+	}, sim.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackers := synth.NewExternalIPPool(sim.Fork(), 20, 1.2)
+	return sim, network, trackers
+}
+
+func TestConfigValidate(t *testing.T) {
+	sim, network, trackers := testEnv(t, 1)
+	_ = sim
+	good := DefaultConfig(flow.MakeIP(128, 2, 0, 5), BitTorrent, window(), network, trackers)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Host = 0 },
+		func(c *Config) { c.App = 0 },
+		func(c *Config) { c.App = 99 },
+		func(c *Config) { c.Network = nil },
+		func(c *Config) { c.Trackers = nil },
+		func(c *Config) { c.Window = flow.Window{} },
+		func(c *Config) { c.Sessions = 0 },
+		func(c *Config) { c.SessionMedian = 0 },
+		func(c *Config) { c.UploadMedian = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := good
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAppString(t *testing.T) {
+	if Gnutella.String() != "gnutella" || EMule.String() != "emule" || BitTorrent.String() != "bittorrent" {
+		t.Error("app names wrong")
+	}
+	if App(99).String() == "" {
+		t.Error("unknown app should render")
+	}
+}
+
+// runTrader simulates one Trader and returns its emitted records.
+func runTrader(t *testing.T, app App, seed int64) []flow.Record {
+	t.Helper()
+	sim, network, trackers := testEnv(t, seed)
+	host := flow.MakeIP(128, 2, 0, 7)
+	cfg := DefaultConfig(host, app, window(), network, trackers)
+	cfg.Sessions = 2
+	tr, err := New(cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Addr() != host || tr.App() != app {
+		t.Error("accessors wrong")
+	}
+	tr.Start()
+	sim.Run(window().To)
+	return sim.Records()
+}
+
+func TestTraderBehaviors(t *testing.T) {
+	for _, tc := range []struct {
+		app  App
+		want label.App
+	}{
+		{Gnutella, label.AppGnutella},
+		{EMule, label.AppEMule},
+		{BitTorrent, label.AppBitTorrent},
+	} {
+		t.Run(tc.app.String(), func(t *testing.T) {
+			var records []flow.Record
+			// Sessions are random within the window; retry seeds until the
+			// trader produces a reasonable session (cheap).
+			for seed := int64(1); seed < 6 && len(records) < 50; seed++ {
+				records = runTrader(t, tc.app, seed)
+			}
+			if len(records) < 50 {
+				t.Fatalf("trader emitted only %d flows", len(records))
+			}
+			for i := range records {
+				if err := records[i].Validate(); err != nil {
+					t.Fatalf("invalid record: %v", err)
+				}
+			}
+			// Ground-truth labeling must identify the host as this app.
+			labels := label.LabelHosts(records, nil)
+			hl := labels[flow.MakeIP(128, 2, 0, 7)]
+			if hl == nil || !hl.IsTrader() {
+				t.Fatal("trader not labeled from its payloads")
+			}
+			if hl.Primary() != tc.want {
+				t.Errorf("labeled %v, want %v", hl.Primary(), tc.want)
+			}
+			// Trader-scale features: large average upload per flow, some
+			// failures (churn), multiple distinct peers.
+			feats := flow.ExtractFeatures(records, flow.FeatureOptions{})
+			f := feats[flow.MakeIP(128, 2, 0, 7)]
+			if f.AvgBytesPerFlow() < 3000 {
+				t.Errorf("avg bytes/flow = %v, want media-transfer scale", f.AvgBytesPerFlow())
+			}
+			if f.FailedRate() < 0.1 {
+				t.Errorf("failed rate = %v, want churn-driven failures", f.FailedRate())
+			}
+			if f.Peers < 10 {
+				t.Errorf("distinct peers = %d, want many", f.Peers)
+			}
+		})
+	}
+}
+
+func TestTraderStopsAtWindowEnd(t *testing.T) {
+	records := runTrader(t, BitTorrent, 3)
+	for i := range records {
+		if !window().Contains(records[i].Start) {
+			t.Fatalf("record outside window at %v", records[i].Start)
+		}
+	}
+}
+
+func TestTraderPeersAreExternal(t *testing.T) {
+	records := runTrader(t, EMule, 4)
+	host := flow.MakeIP(128, 2, 0, 7)
+	inbound := 0
+	for i := range records {
+		r := &records[i]
+		switch {
+		case r.Src == host:
+			if synth.IsInternal(r.Dst) {
+				t.Fatalf("trader contacted internal destination %v", r.Dst)
+			}
+		case r.Dst == host:
+			// Inbound: peers fetch from the Trader.
+			inbound++
+			if synth.IsInternal(r.Src) {
+				t.Fatalf("inbound flow from internal source %v", r.Src)
+			}
+		default:
+			t.Fatalf("record unrelated to the trader: %v", r)
+		}
+	}
+	if inbound == 0 {
+		t.Error("no inbound peer connections observed")
+	}
+}

@@ -1,0 +1,422 @@
+// Package plotters is a library for telling P2P botnet members
+// ("Plotters") apart from P2P file-sharing hosts ("Traders") in network
+// flow records, reproducing Yen & Reiter, "Are Your Hosts Trading or
+// Plotting? Telling P2P File-Sharing and Bots Apart" (ICDCS 2010).
+//
+// The library has three parts:
+//
+//   - The detection pipeline (FindPlotters): an initial failed-connection
+//     data reduction followed by three behavioral tests — traffic volume
+//     (θ_vol), peer churn (θ_churn), and human- vs. machine-driven timing
+//     (θ_hm, Earth Mover's Distance clustering of interstitial-time
+//     histograms). All thresholds are percentiles of the observed
+//     population.
+//   - Traffic synthesis: a deterministic discrete-event simulation of a
+//     campus border (background hosts, Gnutella/eMule/BitTorrent Traders
+//     over a Kademlia substrate) and of Storm and Nugache honeynet
+//     traces, standing in for the paper's unobtainable datasets.
+//   - The evaluation harness: trace overlay, ground-truth labeling from
+//     payload signatures, ROC sweeps, and a regeneration of every figure
+//     in the paper's evaluation (see EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	ds, _ := plotters.GenerateDataset(plotters.DefaultDatasetConfig(42))
+//	suite, _ := plotters.NewSuite(ds, plotters.DefaultConfig(), 1)
+//	day, _ := suite.Day(0)
+//	res, _ := day.Analysis.FindPlotters()
+//	for _, host := range res.Suspects.Sorted() {
+//		fmt.Println("suspected plotter:", host)
+//	}
+package plotters
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"plotters/internal/argus"
+	"plotters/internal/baseline"
+	"plotters/internal/core"
+	"plotters/internal/eval"
+	"plotters/internal/evasion"
+	"plotters/internal/flow"
+	"plotters/internal/flowio"
+	"plotters/internal/label"
+	"plotters/internal/overlay"
+	"plotters/internal/synth"
+	"plotters/internal/synth/plotter"
+	"plotters/internal/synth/scenario"
+)
+
+// Flow-record model.
+type (
+	// Record is one Argus-style bi-directional flow record.
+	Record = flow.Record
+	// IP is an IPv4 address in host byte order.
+	IP = flow.IP
+	// Subnet is a CIDR prefix.
+	Subnet = flow.Subnet
+	// Window is a half-open observation interval (the detection window).
+	Window = flow.Window
+	// Proto is a transport protocol number.
+	Proto = flow.Proto
+	// ConnState classifies connection outcomes.
+	ConnState = flow.ConnState
+	// HostFeatures aggregates one host's behavioral features.
+	HostFeatures = flow.HostFeatures
+	// FeatureOptions configures feature extraction.
+	FeatureOptions = flow.FeatureOptions
+)
+
+// Transport protocols and connection states.
+const (
+	TCP  = flow.TCP
+	UDP  = flow.UDP
+	ICMP = flow.ICMP
+
+	StateEstablished = flow.StateEstablished
+	StateFailed      = flow.StateFailed
+)
+
+// ParseIP parses a dotted-quad IPv4 address.
+func ParseIP(s string) (IP, error) { return flow.ParseIP(s) }
+
+// ParseSubnet parses CIDR notation.
+func ParseSubnet(s string) (Subnet, error) { return flow.ParseSubnet(s) }
+
+// ExtractFeatures computes per-host behavioral features from records.
+func ExtractFeatures(records []Record, opts FeatureOptions) map[IP]*HostFeatures {
+	return flow.ExtractFeatures(records, opts)
+}
+
+// Detection pipeline (the paper's contribution).
+type (
+	// Config tunes the FindPlotters pipeline.
+	Config = core.Config
+	// Analysis holds per-host features for one detection window.
+	Analysis = core.Analysis
+	// Result is the full FindPlotters outcome with every stage exposed.
+	Result = core.Result
+	// HostSet is a set of internal host addresses.
+	HostSet = core.HostSet
+	// Reduction is the initial data-reduction outcome.
+	Reduction = core.Reduction
+	// TestResult is a θ_vol / θ_churn outcome.
+	TestResult = core.TestResult
+	// HMResult is the θ_hm outcome with its clusters.
+	HMResult = core.HMResult
+	// HMCluster is one θ_hm cluster.
+	HMCluster = core.HMCluster
+)
+
+// DefaultConfig returns the calibrated operating point (see
+// EXPERIMENTS.md for how it maps to the paper's).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewAnalysis extracts per-host features for one detection window.
+// internal selects monitored addresses (nil = every initiator).
+func NewAnalysis(records []Record, internal func(IP) bool, cfg Config) (*Analysis, error) {
+	return core.NewAnalysis(records, internal, cfg)
+}
+
+// FindPlotters runs the complete detection pipeline of the paper's
+// Figure 4 over one window of flow records.
+func FindPlotters(records []Record, internal func(IP) bool, cfg Config) (*Result, error) {
+	return core.FindPlotters(records, internal, cfg)
+}
+
+// Ground-truth labeling (§III payload rules).
+type (
+	// App identifies a recognized file-sharing application.
+	App = label.App
+	// HostLabel is one host's ground-truth evidence.
+	HostLabel = label.HostLabel
+)
+
+// Recognized file-sharing applications.
+const (
+	AppUnknown    = label.AppUnknown
+	AppGnutella   = label.AppGnutella
+	AppEMule      = label.AppEMule
+	AppBitTorrent = label.AppBitTorrent
+)
+
+// LabelTraders returns the hosts whose flows carry file-sharing protocol
+// signatures (§III), used only for scoring — the detection pipeline never
+// reads payloads.
+func LabelTraders(records []Record, internal func(IP) bool) map[IP]bool {
+	return label.Traders(records, internal)
+}
+
+// LabelHosts returns detailed per-host labeling evidence.
+func LabelHosts(records []Record, internal func(IP) bool) map[IP]*HostLabel {
+	return label.LabelHosts(records, internal)
+}
+
+// Traffic synthesis.
+type (
+	// DayConfig shapes one synthesized campus collection day.
+	DayConfig = scenario.DayConfig
+	// Day is one synthesized day.
+	Day = scenario.Day
+	// DatasetConfig shapes the full evaluation corpus.
+	DatasetConfig = scenario.DatasetConfig
+	// Dataset is the full corpus: days plus the two honeynet traces.
+	Dataset = scenario.Dataset
+	// StormConfig shapes a Storm honeynet trace.
+	StormConfig = plotter.StormConfig
+	// NugacheConfig shapes a Nugache honeynet trace.
+	NugacheConfig = plotter.NugacheConfig
+	// BotTrace is a generated honeynet trace.
+	BotTrace = plotter.Trace
+)
+
+// DefaultDayConfig returns the evaluation's per-day shape.
+func DefaultDayConfig(day time.Time, seed int64) DayConfig {
+	return scenario.DefaultDayConfig(day, seed)
+}
+
+// DefaultDatasetConfig mirrors the paper's evaluation (eight days,
+// 13 Storm bots, 82 Nugache bots).
+func DefaultDatasetConfig(seed int64) DatasetConfig {
+	return scenario.DefaultDatasetConfig(seed)
+}
+
+// GenerateDay synthesizes one campus day with embedded Traders.
+func GenerateDay(cfg DayConfig) (*Day, error) { return scenario.GenerateDay(cfg) }
+
+// GenerateDataset synthesizes the full corpus.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
+	return scenario.GenerateDataset(cfg)
+}
+
+// GenerateStorm synthesizes a 24-hour Storm honeynet trace.
+func GenerateStorm(cfg StormConfig, seed int64) (*BotTrace, error) {
+	return plotter.GenerateStorm(cfg, seed)
+}
+
+// GenerateNugache synthesizes a 24-hour Nugache honeynet trace.
+func GenerateNugache(cfg NugacheConfig, seed int64) (*BotTrace, error) {
+	return plotter.GenerateNugache(cfg, seed)
+}
+
+// IsInternal reports whether ip belongs to the simulated campus network
+// (two /16 subnets, like the paper's).
+func IsInternal(ip IP) bool { return synth.IsInternal(ip) }
+
+// CollectionWindow returns the paper's 9 a.m.–3 p.m. daily window for a
+// calendar day.
+func CollectionWindow(day time.Time) Window { return synth.CollectionWindow(day) }
+
+// Overlay and evaluation.
+type (
+	// Trace pairs bot records with a scoring label for overlaying.
+	Trace = overlay.Trace
+	// Overlaid is the result of overlaying bot traces onto a day.
+	Overlaid = overlay.Overlaid
+	// Suite drives the full evaluation over a dataset.
+	Suite = eval.Suite
+	// DayEval is one overlaid day with ground truth.
+	DayEval = eval.DayEval
+	// Rates is a scored detection outcome.
+	Rates = eval.Rates
+)
+
+// NewSuite wraps a dataset for evaluation.
+func NewSuite(ds *Dataset, cfg Config, seed int64) (*Suite, error) {
+	return eval.NewSuite(ds, cfg, seed)
+}
+
+// OverlayDay overlays the dataset's honeynet traces onto one day.
+func OverlayDay(day *Day, ds *Dataset, seed int64, cfg Config) (*DayEval, error) {
+	return eval.Overlay(day, eval.StormTrace(ds), eval.NugacheTrace(ds), seed, cfg)
+}
+
+// Score computes detection rates of kept relative to input, with truth
+// marking the Plotters.
+func Score(kept, input, truth HostSet) Rates { return eval.Score(kept, input, truth) }
+
+// Trace I/O.
+
+// ReadTrace decodes a binary flow trace.
+func ReadTrace(r io.Reader) ([]Record, error) { return flowio.ReadAllBinary(r) }
+
+// WriteTrace encodes records as a binary flow trace.
+func WriteTrace(w io.Writer, records []Record) error { return flowio.WriteAllBinary(w, records) }
+
+// ReadTraceCSV decodes a CSV flow trace.
+func ReadTraceCSV(r io.Reader) ([]Record, error) { return flowio.ReadCSV(r) }
+
+// WriteTraceCSV encodes records as CSV.
+func WriteTraceCSV(w io.Writer, records []Record) error { return flowio.WriteCSV(w, records) }
+
+// ReadTraceJSONL decodes a JSON Lines flow trace.
+func ReadTraceJSONL(r io.Reader) ([]Record, error) { return flowio.ReadJSONL(r) }
+
+// WriteTraceJSONL encodes records as JSON Lines.
+func WriteTraceJSONL(w io.Writer, records []Record) error { return flowio.WriteJSONL(w, records) }
+
+// Evasion analysis (§VI).
+
+// InflateVolume multiplies the bytes uploaded on every successful flow —
+// the direct θ_vol evasion, at the cost of conspicuous extra traffic.
+func InflateVolume(records []Record, factor float64) ([]Record, error) {
+	return evasion.InflateVolume(records, factor)
+}
+
+// InflateChurn rewrites repeat contacts to fresh addresses so the host
+// appears to churn through new peers, the θ_churn evasion.
+func InflateChurn(records []Record, factor float64, freshPool []IP, rng *rand.Rand) ([]Record, error) {
+	return evasion.InflateChurn(records, factor, freshPool, rng)
+}
+
+// JitterRepeatContacts shifts every repeat-contact connection by a
+// uniform ±d delay — the paper's θ_hm evasion simulation. Larger d
+// degrades detection but slows the botnet's command responsiveness.
+func JitterRepeatContacts(records []Record, d time.Duration, rng *rand.Rand) ([]Record, error) {
+	return evasion.JitterRepeatContacts(records, d, rng)
+}
+
+// RequiredVolumeFactor returns the multiplicative flow-size increase a
+// host needs to clear the volume threshold (Figure 11(a)).
+func RequiredVolumeFactor(avgBytesPerFlow, threshold float64) float64 {
+	return evasion.RequiredVolumeFactor(avgBytesPerFlow, threshold)
+}
+
+// RequiredChurnFactor returns by what factor a host must grow its new-IP
+// count to lift its new-IP fraction to target (Figure 11(b)).
+func RequiredChurnFactor(newPeers, totalPeers int, target float64) float64 {
+	return evasion.RequiredChurnFactor(newPeers, totalPeers, target)
+}
+
+// Flow assembly from packet streams (the Argus substrate).
+type (
+	// Packet is one observed packet for flow assembly.
+	Packet = argus.Packet
+	// AssemblerConfig tunes packet-to-flow assembly.
+	AssemblerConfig = argus.Config
+	// Assembler groups a time-ordered packet stream into bi-directional
+	// flow records, Argus-style.
+	Assembler = argus.Assembler
+)
+
+// DefaultAssemblerConfig mirrors the paper's Argus deployment.
+func DefaultAssemblerConfig() AssemblerConfig { return argus.DefaultConfig() }
+
+// NewAssembler creates a packet-to-flow assembler; emit receives each
+// completed flow record.
+func NewAssembler(cfg AssemblerConfig, emit func(Record)) (*Assembler, error) {
+	return argus.New(cfg, emit)
+}
+
+// Baseline detectors (§II related work), for comparison with FindPlotters.
+type (
+	// TDGConfig tunes the traffic-dispersion-graph P2P identifier.
+	TDGConfig = baseline.TDGConfig
+	// TDGResult is the TDG detector's outcome.
+	TDGResult = baseline.TDGResult
+	// PersistenceConfig tunes the persistent-connection C&C detector.
+	PersistenceConfig = baseline.PersistenceConfig
+	// PersistenceResult is the persistence detector's outcome.
+	PersistenceResult = baseline.PersistenceResult
+	// DetectorOutcome is one detector's per-class rates from
+	// Suite.CompareBaselines.
+	DetectorOutcome = eval.DetectorOutcome
+)
+
+// DefaultTDGConfig returns the published TDG operating point.
+func DefaultTDGConfig() TDGConfig { return baseline.DefaultTDGConfig() }
+
+// TDG runs the per-port traffic-dispersion-graph P2P identifier.
+func TDG(records []Record, internal func(IP) bool, cfg TDGConfig) (*TDGResult, error) {
+	return baseline.TDG(records, internal, cfg)
+}
+
+// DefaultPersistenceConfig returns the published persistence operating
+// point.
+func DefaultPersistenceConfig() PersistenceConfig { return baseline.DefaultPersistenceConfig() }
+
+// PersistenceDetect runs the persistent-connection C&C detector.
+func PersistenceDetect(records []Record, window Window, internal func(IP) bool, cfg PersistenceConfig) (*PersistenceResult, error) {
+	return baseline.Persistence(records, window, internal, cfg)
+}
+
+// Per-application analysis (the paper's §VI extension).
+type (
+	// PortGrouper maps a flow to an application group.
+	PortGrouper = core.PortGrouper
+	// PortGroupResult is the per-application pipeline outcome.
+	PortGroupResult = core.PortGroupResult
+	// VirtualHost is one (host, application group) analysis unit.
+	VirtualHost = core.VirtualHost
+)
+
+// FindPlottersByApplication splits each host's traffic by application
+// port group and runs the pipeline per group, exposing Plotters hiding
+// behind a Trader on the same machine.
+func FindPlottersByApplication(records []Record, internal func(IP) bool, cfg Config, grouper PortGrouper, minFlows int) (*PortGroupResult, error) {
+	return core.FindPlottersByApplication(records, internal, cfg, grouper, minFlows)
+}
+
+// StreamExtractor re-exports incremental feature extraction for
+// deployments that cannot buffer a whole window.
+type StreamExtractor = flow.StreamExtractor
+
+// NewStreamExtractor creates an incremental per-host feature extractor
+// requiring start-ordered input.
+func NewStreamExtractor(opts FeatureOptions) *StreamExtractor {
+	return flow.NewStreamExtractor(opts)
+}
+
+// NewStreamExtractorSkew creates an incremental extractor tolerating
+// records up to maxSkew out of start order — the reordering a flow
+// monitor's end-of-flow reporting introduces.
+func NewStreamExtractorSkew(opts FeatureOptions, maxSkew time.Duration) *StreamExtractor {
+	return flow.NewStreamExtractorSkew(opts, maxSkew)
+}
+
+// Streaming trace I/O: Next()/Write() interfaces over all three formats,
+// for traces larger than memory.
+type (
+	// TraceReader streams records from a trace.
+	TraceReader = flowio.Reader
+	// TraceWriter streams records to a trace.
+	TraceWriter = flowio.Writer
+)
+
+// NewTraceReader opens a streaming reader for the given format
+// ("binary", "csv", or "jsonl").
+func NewTraceReader(r io.Reader, format string) (TraceReader, error) {
+	switch format {
+	case "binary":
+		return flowio.NewBinaryReader(r), nil
+	case "csv":
+		return flowio.NewCSVReader(r), nil
+	case "jsonl":
+		return flowio.NewJSONLReader(r), nil
+	default:
+		return nil, fmt.Errorf("plotters: unknown trace format %q", format)
+	}
+}
+
+// NewTraceWriter opens a streaming writer for the given format.
+func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
+	switch format {
+	case "binary":
+		return flowio.NewBinaryWriter(w), nil
+	case "csv":
+		return flowio.NewCSVWriter(w), nil
+	case "jsonl":
+		return flowio.NewJSONLWriter(w), nil
+	default:
+		return nil, fmt.Errorf("plotters: unknown trace format %q", format)
+	}
+}
+
+// CopyTrace streams all records from r to w (format conversion without
+// buffering), returning the record count.
+func CopyTrace(w TraceWriter, r TraceReader) (int, error) {
+	return flowio.Copy(w, r)
+}
