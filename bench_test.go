@@ -8,6 +8,9 @@
 package plotters_test
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -244,5 +247,73 @@ func BenchmarkSynthesizeDay(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(day.Records)), "records")
+	}
+}
+
+// hmBenchRecords synthesizes n hosts for the θ_hm benchmark: bot
+// families sharing base timers with multiplicative jitter, so every host
+// clears MinInterstitialSamples and produces a well-populated log-scale
+// histogram (realistically sized EMD signatures, not two-bin spikes).
+func hmBenchRecords(n int) []plotters.Record {
+	rng := rand.New(rand.NewSource(123))
+	start := time.Date(2007, time.November, 5, 0, 0, 0, 0, time.UTC)
+	const flowsPerHost = 130
+	records := make([]plotters.Record, 0, n*flowsPerHost)
+	for i := 0; i < n; i++ {
+		base := float64(5+i%37) * float64(time.Second)
+		at := start
+		src := plotters.IP(0x80020000 + uint32(i))
+		for j := 0; j < flowsPerHost; j++ {
+			records = append(records, plotters.Record{
+				Src: src, Dst: plotters.IP(0x08000000 + uint32(i*7+j%5)),
+				SrcPort: 40000, DstPort: 80, Proto: plotters.TCP,
+				Start: at, End: at.Add(time.Second),
+				SrcPkts: 2, DstPkts: 2, SrcBytes: 200, DstBytes: 400,
+				State: plotters.StateEstablished,
+			})
+			gap := base * math.Exp(rng.NormFloat64()*0.35)
+			at = at.Add(time.Duration(gap))
+		}
+	}
+	return records
+}
+
+// BenchmarkHMTest measures θ_hm — the pipeline's dominant cost — at
+// n ∈ {64, 256, 1024} clusterable hosts, sequentially (parallelism=1)
+// and with one worker per CPU (parallelism=0). The parallel result is
+// bit-identical to the sequential one (see
+// core.TestHMTestParallelMatchesSequential); only wall-clock differs.
+func BenchmarkHMTest(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		records := hmBenchRecords(n)
+		for _, mode := range []struct {
+			name        string
+			parallelism int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				cfg := plotters.DefaultConfig()
+				cfg.MinInterstitialSamples = 100
+				cfg.Parallelism = mode.parallelism
+				a, err := plotters.NewAnalysis(records, nil, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hosts := a.Hosts()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := a.HMTest(hosts, cfg.HMPercentile)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Clustered != n {
+						b.Fatalf("clustered %d of %d hosts", res.Clustered, n)
+					}
+					if i == b.N-1 {
+						pairs := float64(n) * float64(n-1) / 2
+						b.ReportMetric(pairs*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+					}
+				}
+			})
+		}
 	}
 }

@@ -34,6 +34,7 @@ func run() error {
 		days      = flag.Int("days", 8, "evaluation days")
 		seed      = flag.Int64("seed", 42, "master random seed")
 		scale     = flag.String("scale", "paper", "dataset scale: small (fast) or paper")
+		parallel  = flag.Int("parallelism", 0, "worker count for the θ_hm distance matrix (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -56,7 +57,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	suite, err := plotters.NewSuite(ds, plotters.DefaultConfig(), *seed+1)
+	pipeCfg := plotters.DefaultConfig()
+	pipeCfg.Parallelism = *parallel
+	suite, err := plotters.NewSuite(ds, pipeCfg, *seed+1)
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,7 @@ func run() error {
 		volPct    = flag.Float64("vol-pct", 0, "override τ_vol percentile (0 = default)")
 		churnPct  = flag.Float64("churn-pct", 0, "override τ_churn percentile (0 = default)")
 		hmPct     = flag.Float64("hm-pct", 0, "override τ_hm percentile (0 = default)")
+		parallel  = flag.Int("parallelism", 0, "worker count for the θ_hm distance matrix (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -59,6 +60,7 @@ func run() error {
 	if *hmPct > 0 {
 		cfg.HMPercentile = *hmPct
 	}
+	cfg.Parallelism = *parallel
 	res, err := plotters.FindPlotters(records, internal, cfg)
 	if err != nil {
 		return err

@@ -42,7 +42,18 @@ type Dendrogram struct {
 // Agglomerate builds a complete average-linkage dendrogram over n items.
 // Pairwise distances are read once into a working matrix and updated with
 // the Lance–Williams recurrence, so dist is called exactly n·(n−1)/2
-// times. Runs in O(n³) time and O(n²) space.
+// times.
+//
+// The closest active pair at each step is found through a per-row
+// nearest-neighbor cache: rowmin[i] / nn[i] hold the smallest distance in
+// row i's upper triangle and the column attaining it, so one step costs
+// an O(n) scan over cached row minima plus recomputation of only the rows
+// a merge invalidated. That is O(n²) amortized in practice (O(n³) in
+// adversarial tie-heavy inputs) versus the naive O(n³) full rescan —
+// the difference between clustering and the distance matrix dominating
+// θ_hm at thousands of hosts. Merge order, including ties (broken toward
+// the smallest slot indices), is identical to the full rescan. O(n²)
+// space.
 func Agglomerate(n int, dist DistFunc) (*Dendrogram, error) {
 	if n <= 0 {
 		return nil, ErrNoItems
@@ -78,26 +89,40 @@ func Agglomerate(n int, dist DistFunc) (*Dendrogram, error) {
 		slotID[i] = i
 	}
 
-	d.merges = make([]Merge, 0, n-1)
-	for step := 0; step < n-1; step++ {
-		// Find the closest active pair; ties break toward the smallest
-		// slot indices for determinism.
-		bi, bj := -1, -1
-		best := math.Inf(1)
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if !active[j] {
-					continue
-				}
-				if mat[i][j] < best {
-					best = mat[i][j]
-					bi, bj = i, j
-				}
+	// rowmin[i] is min over active j > i of mat[i][j]; nn[i] the smallest
+	// such j attaining it (-1 / +Inf when row i has no active successor).
+	// Scanning j ascending with a strict < reproduces the smallest-j tie
+	// break of a full rescan.
+	rowmin := make([]float64, n)
+	nn := make([]int, n)
+	recompute := func(i int) {
+		rowmin[i] = math.Inf(1)
+		nn[i] = -1
+		for j := i + 1; j < n; j++ {
+			if active[j] && mat[i][j] < rowmin[i] {
+				rowmin[i] = mat[i][j]
+				nn[i] = j
 			}
 		}
+	}
+	for i := 0; i < n; i++ {
+		recompute(i)
+	}
+
+	d.merges = make([]Merge, 0, n-1)
+	for step := 0; step < n-1; step++ {
+		// Closest active pair: the smallest cached row minimum, scanning
+		// rows ascending with strict < so ties break toward the smallest
+		// (i, j) exactly as a full upper-triangle rescan would.
+		bi := -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if active[i] && rowmin[i] < best {
+				best = rowmin[i]
+				bi = i
+			}
+		}
+		bj := nn[bi]
 		parent := n + step
 		d.merges = append(d.merges, Merge{A: slotID[bi], B: slotID[bj], Parent: parent, Weight: best})
 
@@ -115,6 +140,32 @@ func Agglomerate(n int, dist DistFunc) (*Dendrogram, error) {
 		size[bi] += size[bj]
 		slotID[bi] = parent
 		active[bj] = false
+
+		// Repair the caches the merge invalidated (bi < bj always):
+		//   - row bi: every mat[bi][k] changed;
+		//   - rows k < bj pointing at bj: their minimum vanished;
+		//   - rows k < bi: mat[k][bi] changed — if the row pointed at bi
+		//     the old minimum is stale (the value may have risen), else
+		//     the new value can only improve the cached minimum, with a
+		//     smallest-j tie break against the incumbent.
+		recompute(bi)
+		for k := 0; k < bj; k++ {
+			if !active[k] || k == bi {
+				continue
+			}
+			if nn[k] == bj {
+				recompute(k)
+				continue
+			}
+			if k < bi {
+				if nn[k] == bi {
+					recompute(k)
+				} else if v := mat[k][bi]; v < rowmin[k] || (v == rowmin[k] && bi < nn[k]) {
+					rowmin[k] = v
+					nn[k] = bi
+				}
+			}
+		}
 	}
 	return d, nil
 }

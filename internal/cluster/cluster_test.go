@@ -399,3 +399,187 @@ func TestCutRemovedSetUpwardClosed(t *testing.T) {
 		}
 	}
 }
+
+// naiveClosestPairMerges reimplements the pre-cache Agglomerate selection
+// (full upper-triangle rescan each step, strict < so ties break toward
+// the smallest slot pair) as a reference for the nearest-neighbor cache.
+func naiveClosestPairMerges(n int, m [][]float64) []Merge {
+	mat := make([][]float64, n)
+	for i := range mat {
+		mat[i] = append([]float64(nil), m[i]...)
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	slotID := make([]int, n)
+	for i := 0; i < n; i++ {
+		active[i], size[i], slotID[i] = true, 1, i
+	}
+	var merges []Merge
+	for step := 0; step < n-1; step++ {
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if active[j] && mat[i][j] < best {
+					best = mat[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		parent := n + step
+		merges = append(merges, Merge{A: slotID[bi], B: slotID[bj], Parent: parent, Weight: best})
+		ni, nj := float64(size[bi]), float64(size[bj])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			upd := (ni*mat[bi][k] + nj*mat[bj][k]) / (ni + nj)
+			mat[bi][k] = upd
+			mat[k][bi] = upd
+		}
+		size[bi] += size[bj]
+		slotID[bi] = parent
+		active[bj] = false
+	}
+	return merges
+}
+
+// The nearest-neighbor cache must reproduce the naive full-rescan merge
+// sequence exactly — same pairs, same order, same weights — including on
+// tie-heavy matrices where distances repeat constantly.
+func TestAgglomerateMatchesNaiveRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(40)
+		var m [][]float64
+		if trial%2 == 0 {
+			m = randomDistMatrix(rng, n)
+		} else {
+			// Distances drawn from {0,1,2,3} force heavy ties, stressing
+			// the tie-break bookkeeping.
+			m = make([][]float64, n)
+			for i := range m {
+				m[i] = make([]float64, n)
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					v := float64(rng.Intn(4))
+					m[i][j], m[j][i] = v, v
+				}
+			}
+		}
+		d, err := Agglomerate(n, matrixDist(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveClosestPairMerges(n, m)
+		if !reflect.DeepEqual(d.Merges(), want) {
+			t.Fatalf("trial %d (n=%d): merge sequence diverged from naive rescan\n got: %+v\nwant: %+v",
+				trial, n, d.Merges(), want)
+		}
+	}
+}
+
+func TestCutTopFractionTwoItems(t *testing.T) {
+	d, err := Agglomerate(2, func(i, j int) float64 { return 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One link: frac=0 keeps the pair together, any positive frac
+	// removes ceil(frac·1) = 1 link and shatters it.
+	if got := d.CutTopFraction(0); !reflect.DeepEqual(got, [][]int{{0, 1}}) {
+		t.Errorf("frac=0: %v", got)
+	}
+	if got := d.CutTopFraction(0.01); !reflect.DeepEqual(got, [][]int{{0}, {1}}) {
+		t.Errorf("frac=0.01: %v", got)
+	}
+	if got := d.CutTopFraction(1); !reflect.DeepEqual(got, [][]int{{0}, {1}}) {
+		t.Errorf("frac=1: %v", got)
+	}
+}
+
+func TestCutTopFractionAllEqualDistances(t *testing.T) {
+	// All-equal distances: every merge weight is identical (average
+	// linkage of constant distances is that constant), so cutting must
+	// still produce valid partitions of the expected cardinality and stay
+	// deterministic.
+	n := 7
+	d, err := Agglomerate(n, func(i, j int) float64 { return 2.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.Merges() {
+		if m.Weight != 2.5 {
+			t.Fatalf("merge weight %v, want 2.5", m.Weight)
+		}
+	}
+	for _, tc := range []struct {
+		frac float64
+		want int
+	}{{0, 1}, {0.5, 4}, {1, n}} { // ceil(0.5·6)=3 cuts → 4 clusters
+		got := d.CutTopFraction(tc.frac)
+		if len(got) != tc.want {
+			t.Errorf("frac=%v: %d clusters, want %d (%v)", tc.frac, len(got), tc.want, got)
+		}
+		seen := map[int]bool{}
+		for _, c := range got {
+			for _, leaf := range c {
+				if seen[leaf] {
+					t.Fatalf("frac=%v: leaf %d duplicated", tc.frac, leaf)
+				}
+				seen[leaf] = true
+			}
+		}
+		if len(seen) != n {
+			t.Errorf("frac=%v: partition covers %d of %d leaves", tc.frac, len(seen), n)
+		}
+	}
+}
+
+func TestMeanPairwiseDegenerate(t *testing.T) {
+	m := [][]float64{
+		{0, 4, 6},
+		{4, 0, 8},
+		{6, 8, 0},
+	}
+	dist := matrixDist(m)
+	if got := MeanPairwise([]int{0, 1}, dist); got != 4 {
+		t.Errorf("pair MeanPairwise = %v, want 4", got)
+	}
+	if got := MeanPairwise([]int{0, 1, 2}, dist); got != 6 {
+		t.Errorf("MeanPairwise = %v, want (4+6+8)/3 = 6", got)
+	}
+	if got := MeanPairwise([]int{1}, dist); got != 0 {
+		t.Errorf("singleton MeanPairwise = %v, want 0", got)
+	}
+	if got := MeanPairwise(nil, dist); got != 0 {
+		t.Errorf("empty MeanPairwise = %v, want 0", got)
+	}
+	// All-equal distances: mean equals the common value and matches the
+	// diameter.
+	eq := func(i, j int) float64 { return 1.5 }
+	members := []int{0, 1, 2, 3}
+	if got := MeanPairwise(members, eq); got != 1.5 {
+		t.Errorf("all-equal MeanPairwise = %v, want 1.5", got)
+	}
+	if Diameter(members, eq) != MeanPairwise(members, eq) {
+		t.Error("all-equal distances: mean and diameter must agree")
+	}
+	// Mean never exceeds the diameter.
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		rm := randomDistMatrix(rng, n)
+		members := make([]int, n)
+		for i := range members {
+			members[i] = i
+		}
+		mean, diam := MeanPairwise(members, matrixDist(rm)), Diameter(members, matrixDist(rm))
+		if mean > diam+1e-12 {
+			t.Fatalf("trial %d: mean %v > diameter %v", trial, mean, diam)
+		}
+	}
+}

@@ -65,6 +65,12 @@ type Config struct {
 	// traffic is invisible; the log axis weighs relative timing
 	// differences. Kept as an option for ablation studies.
 	RawTimeScale bool
+	// Parallelism bounds the worker pool used for θ_hm's pairwise EMD
+	// distance matrix — the pipeline's dominant cost at scale. 0 means
+	// one worker per CPU; 1 forces fully sequential execution (useful
+	// for reproducible benchmarking and debugging). The detection output
+	// is identical at every setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -102,6 +108,9 @@ func (c *Config) Validate() error {
 	}
 	if c.NewPeerGrace <= 0 {
 		return fmt.Errorf("core: NewPeerGrace must be positive")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism = %d must be >= 0 (0 = all CPUs)", c.Parallelism)
 	}
 	return nil
 }

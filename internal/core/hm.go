@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"plotters/internal/cluster"
+	"plotters/internal/distmatrix"
 	"plotters/internal/emd"
 	"plotters/internal/flow"
 	"plotters/internal/histogram"
@@ -84,29 +87,35 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		return HMResult{Kept: HostSet{}, Skipped: skipped, Clustered: len(hosts)}, nil
 	}
 
-	// Pairwise EMD over histogram signatures.
-	type sig struct{ pos, w []float64 }
-	sigs := make([]sig, len(hists))
+	// Pairwise EMD over histogram signatures. Each host's signature is
+	// validated, sorted, and normalized exactly once here; the O(n²)
+	// pairwise comparisons then run allocation-free. Hosts are in sorted
+	// address order, so any signature error reports the first offending
+	// host deterministically.
+	sigs := make([]*emd.Signature, len(hists))
 	for i, h := range hists {
 		pos, w := h.Signature()
-		sigs[i] = sig{pos: pos, w: w}
-	}
-	dist := make([][]float64, len(hosts))
-	for i := range dist {
-		dist[i] = make([]float64, len(hosts))
-	}
-	for i := 0; i < len(hosts); i++ {
-		for j := i + 1; j < len(hosts); j++ {
-			d, err := emd.Distance1D(sigs[i].pos, sigs[i].w, sigs[j].pos, sigs[j].w)
-			if err != nil {
-				return HMResult{}, fmt.Errorf("core: EMD between %v and %v: %w", hosts[i], hosts[j], err)
-			}
-			dist[i][j] = d
-			dist[j][i] = d
+		sig, err := emd.NewSignature(pos, w)
+		if err != nil {
+			return HMResult{}, fmt.Errorf("core: EMD signature for %v: %w", hosts[i], err)
 		}
+		sigs[i] = sig
+	}
+	// The matrix is the pipeline's dominant cost; distmatrix shards it
+	// across cfg.Parallelism workers (0 = all CPUs) with output — values
+	// and any error — bit-identical to a sequential i-then-j loop.
+	dist, err := distmatrix.Compute(context.Background(), len(hosts),
+		func(i, j int) (float64, error) { return sigs[i].Distance(sigs[j]), nil },
+		distmatrix.Options{Parallelism: a.cfg.Parallelism})
+	if err != nil {
+		var pe *distmatrix.PairError
+		if errors.As(err, &pe) {
+			return HMResult{}, fmt.Errorf("core: EMD between %v and %v: %w", hosts[pe.I], hosts[pe.J], pe.Err)
+		}
+		return HMResult{}, fmt.Errorf("core: distance matrix: %w", err)
 	}
 
-	dendro, err := cluster.Agglomerate(len(hosts), func(i, j int) float64 { return dist[i][j] })
+	dendro, err := cluster.Agglomerate(len(hosts), dist.DistFunc())
 	if err != nil {
 		return HMResult{}, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -120,7 +129,7 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		if len(members) < 2 {
 			continue
 		}
-		diam := clusterSpread(a.cfg, members, func(i, j int) float64 { return dist[i][j] })
+		diam := clusterSpread(a.cfg, members, dist.DistFunc())
 		ips := make([]flow.IP, len(members))
 		for k, m := range members {
 			ips[k] = hosts[m]

@@ -71,6 +71,12 @@ type PortGroupResult struct {
 // shares a machine with a heavy file-sharer is then judged on its own
 // port group's behavior rather than the blended host profile.
 //
+// Splitting multiplies the θ_hm population — every real host becomes
+// several virtual hosts — and the pairwise EMD matrix grows with its
+// square, so this variant leans hardest on the parallel distance-matrix
+// engine; cfg.Parallelism applies to the virtual-host matrix exactly as
+// it does to the plain pipeline.
+//
 // grouper defaults to DefaultPortGrouper. Groups with fewer than
 // minFlows flows are left out (too little evidence either way).
 func FindPlottersByApplication(records []flow.Record, internal func(flow.IP) bool, cfg Config, grouper PortGrouper, minFlows int) (*PortGroupResult, error) {
@@ -114,14 +120,18 @@ func FindPlottersByApplication(records []flow.Record, internal func(flow.IP) boo
 	// real initiator).
 	toVirtual := make(map[VirtualHost]flow.IP, len(keys))
 	mapping := make(map[flow.IP]VirtualHost, len(keys))
+	kept := 0
 	for i, vh := range keys {
 		addr := flow.IP(uint32(i) + 1)
 		toVirtual[vh] = addr
 		mapping[addr] = vh
+		kept += counts[vh]
 	}
 
-	// Second pass: rewrite sources to virtual addresses.
-	rewritten := make([]flow.Record, 0, len(records))
+	// Second pass: rewrite sources to virtual addresses. The first pass
+	// already counted exactly how many flows survive the minFlows filter,
+	// so size the rewrite buffer to that.
+	rewritten := make([]flow.Record, 0, kept)
 	for i := range records {
 		r := records[i]
 		if internal != nil && !internal(r.Src) {

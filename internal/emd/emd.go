@@ -51,6 +51,38 @@ func Distance1D(pos1, w1, pos2, w2 []float64) (float64, error) {
 	return distance1D(s1, s2), nil
 }
 
+// Signature is a validated, sorted, unit-mass 1-D signature prepared for
+// repeated distance queries. Distance1D re-validates, re-sorts, and
+// re-normalizes both inputs on every call; when one distribution is
+// compared against many others — the θ_hm pairwise matrix compares each
+// host against every other — preparing each side once with NewSignature
+// removes that per-pair overhead and makes the comparison allocation-free.
+type Signature struct {
+	sig signature
+}
+
+// NewSignature validates and prepares a signature: positions are sorted,
+// duplicate positions coalesced, zero weights dropped, and weights
+// normalized to unit mass. The inputs are copied; the caller may reuse
+// them.
+func NewSignature(pos, w []float64) (*Signature, error) {
+	s, err := newSignature(pos, w)
+	if err != nil {
+		return nil, fmt.Errorf("emd: %w", err)
+	}
+	return &Signature{sig: s}, nil
+}
+
+// Len returns the number of distinct mass-bearing positions.
+func (s *Signature) Len() int { return len(s.sig.pos) }
+
+// Distance returns the 1-D EMD between two prepared signatures. It
+// performs no validation or allocation and is safe for concurrent use:
+// prepared signatures are immutable.
+func (s *Signature) Distance(t *Signature) float64 {
+	return distance1D(s.sig, t.sig)
+}
+
 type signature struct {
 	pos []float64 // sorted ascending
 	w   []float64 // normalized to sum 1, parallel to pos

@@ -400,3 +400,90 @@ func BenchmarkTransportSimplex16x16(b *testing.B) {
 		}
 	}
 }
+
+func TestSignaturePreparedMatchesDistance1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n1, n2 := 1+rng.Intn(40), 1+rng.Intn(40)
+		pos1, w1 := randomSig(rng, n1)
+		pos2, w2 := randomSig(rng, n2)
+		want, err := Distance1D(pos1, w1, pos2, w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := NewSignature(pos1, w1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewSignature(pos2, w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bit-identical, not merely close: both paths run the same
+		// distance1D over the same prepared form.
+		if got := s1.Distance(s2); got != want {
+			t.Fatalf("trial %d: prepared %v != Distance1D %v", trial, got, want)
+		}
+		if got := s2.Distance(s1); got != want {
+			t.Fatalf("trial %d: prepared reversed %v != %v", trial, got, want)
+		}
+	}
+}
+
+func TestSignatureSelfDistanceZero(t *testing.T) {
+	s, err := NewSignature([]float64{3, 1, 2}, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Distance(s); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSignatureErrors(t *testing.T) {
+	if _, err := NewSignature([]float64{1}, []float64{0}); !errors.Is(err, ErrEmptySignature) {
+		t.Errorf("zero mass err = %v, want ErrEmptySignature", err)
+	}
+	if _, err := NewSignature([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewSignature([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN position accepted")
+	}
+	if _, err := NewSignature([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestSignatureCopiesInputs(t *testing.T) {
+	pos := []float64{0, 5}
+	w := []float64{0.5, 0.5}
+	s, err := NewSignature(pos, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewSignature([]float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Distance(other)
+	pos[1], w[0] = 1000, 0.01 // mutate the caller's slices
+	if after := s.Distance(other); after != before {
+		t.Errorf("prepared signature aliased caller slices: %v != %v", after, before)
+	}
+}
+
+func randomSig(rng *rand.Rand, n int) (pos, w []float64) {
+	pos = make([]float64, n)
+	w = make([]float64, n)
+	for i := range pos {
+		pos[i] = rng.NormFloat64() * 10
+		w[i] = rng.Float64()
+	}
+	// Guarantee positive total mass.
+	w[rng.Intn(n)] += 0.5
+	return pos, w
+}
