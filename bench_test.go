@@ -283,17 +283,24 @@ func hmBenchRecords(n int) []plotters.Record {
 // and with one worker per CPU (parallelism=0). The parallel result is
 // bit-identical to the sequential one (see
 // core.TestHMTestParallelMatchesSequential); only wall-clock differs.
+// The metered variants attach a metrics registry, pinning the cost of
+// instrumentation on the pipeline's hottest path (it must stay within
+// noise: everything is recorded per stage or per worker, never per pair).
 func BenchmarkHMTest(b *testing.B) {
 	for _, n := range []int{64, 256, 1024} {
 		records := hmBenchRecords(n)
 		for _, mode := range []struct {
 			name        string
 			parallelism int
-		}{{"seq", 1}, {"par", 0}} {
+			metrics     bool
+		}{{"seq", 1, false}, {"par", 0, false}, {"seq-metered", 1, true}, {"par-metered", 0, true}} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
 				cfg := plotters.DefaultConfig()
 				cfg.MinInterstitialSamples = 100
 				cfg.Parallelism = mode.parallelism
+				if mode.metrics {
+					cfg.Metrics = plotters.NewMetrics()
+				}
 				a, err := plotters.NewAnalysis(records, nil, cfg)
 				if err != nil {
 					b.Fatal(err)

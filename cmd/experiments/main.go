@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	experiments [-fig N[,N...]|all] [-days N] [-seed S] [-scale small|paper]
+//	experiments [-fig N[,N...]|all] [-days N] [-seed S] [-scale small|paper] [-metrics FILE]
+//
+// With -metrics, cumulative pipeline stage timings across every figure
+// run are written to FILE as JSON (see EXPERIMENTS.md for how to read
+// them).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +40,7 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "master random seed")
 		scale     = flag.String("scale", "paper", "dataset scale: small (fast) or paper")
 		parallel  = flag.Int("parallelism", 0, "worker count for the θ_hm distance matrix (0 = all CPUs, 1 = sequential)")
+		metricsTo = flag.String("metrics", "", "write cumulative pipeline stage timings to this file as JSON")
 	)
 	flag.Parse()
 
@@ -59,6 +65,11 @@ func run() error {
 	}
 	pipeCfg := plotters.DefaultConfig()
 	pipeCfg.Parallelism = *parallel
+	var reg *plotters.Metrics
+	if *metricsTo != "" {
+		reg = plotters.NewMetrics()
+		pipeCfg.Metrics = reg
+	}
 	suite, err := plotters.NewSuite(ds, pipeCfg, *seed+1)
 	if err != nil {
 		return err
@@ -97,6 +108,22 @@ func run() error {
 		if err := compareBaselines(suite); err != nil {
 			return fmt.Errorf("baseline comparison: %w", err)
 		}
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsTo)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.TakeSnapshot()); err != nil {
+			f.Close()
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pipeline metrics written to %s\n", *metricsTo)
 	}
 	return nil
 }

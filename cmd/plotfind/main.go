@@ -4,15 +4,24 @@
 //
 // Usage:
 //
-//	plotfind [-format binary|csv|jsonl] [-internal CIDR[,CIDR]] [-v] TRACE
+//	plotfind [-format binary|csv|jsonl] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
+//
+// With -metrics, a JSON run report is written to FILE: trace metadata,
+// total elapsed time, and a full metrics snapshot with every pipeline
+// stage's duration and survivor count (see the README's Observability
+// section).
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"plotters"
 )
@@ -33,6 +42,7 @@ func run() error {
 		churnPct  = flag.Float64("churn-pct", 0, "override τ_churn percentile (0 = default)")
 		hmPct     = flag.Float64("hm-pct", 0, "override τ_hm percentile (0 = default)")
 		parallel  = flag.Int("parallelism", 0, "worker count for the θ_hm distance matrix (0 = all CPUs, 1 = sequential)")
+		metricsTo = flag.String("metrics", "", "write a JSON run report (stage timings, survivor counts, I/O volume) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -40,17 +50,24 @@ func run() error {
 		return fmt.Errorf("expected exactly one trace file argument")
 	}
 
+	var reg *plotters.Metrics
+	if *metricsTo != "" {
+		reg = plotters.NewMetrics()
+	}
+	started := time.Now()
+
 	internal, err := parseSubnets(*internals)
 	if err != nil {
 		return err
 	}
-	records, err := readTrace(flag.Arg(0), *format)
+	records, err := readTrace(flag.Arg(0), *format, reg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("loaded %d flow records from %s\n", len(records), flag.Arg(0))
 
 	cfg := plotters.DefaultConfig()
+	cfg.Metrics = reg
 	if *volPct > 0 {
 		cfg.VolPercentile = *volPct
 	}
@@ -108,7 +125,47 @@ func run() error {
 		}
 		fmt.Printf("(* = kept by τ_hm)\n")
 	}
+	if reg != nil {
+		if err := writeReport(*metricsTo, flag.Arg(0), *format, len(records), time.Since(started), reg); err != nil {
+			return err
+		}
+		fmt.Printf("\nrun report written to %s\n", *metricsTo)
+	}
 	return nil
+}
+
+// runReport is the JSON document -metrics emits: trace metadata plus the
+// full metrics snapshot (per-stage durations, survivor-count gauges, and
+// I/O counters).
+type runReport struct {
+	Tool           string                   `json:"tool"`
+	Trace          string                   `json:"trace"`
+	Format         string                   `json:"format"`
+	Records        int                      `json:"records"`
+	ElapsedSeconds float64                  `json:"elapsed_seconds"`
+	Metrics        plotters.MetricsSnapshot `json:"metrics"`
+}
+
+func writeReport(path, trace, format string, records int, elapsed time.Duration, reg *plotters.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	report := runReport{
+		Tool:           "plotfind",
+		Trace:          trace,
+		Format:         format,
+		Records:        records,
+		ElapsedSeconds: elapsed.Seconds(),
+		Metrics:        reg.TakeSnapshot(),
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("writing run report: %w", err)
+	}
+	return f.Close()
 }
 
 func parseSubnets(csv string) (func(plotters.IP) bool, error) {
@@ -137,20 +194,26 @@ func parseSubnets(csv string) (func(plotters.IP) bool, error) {
 	}, nil
 }
 
-func readTrace(path, format string) ([]plotters.Record, error) {
+func readTrace(path, format string, reg *plotters.Metrics) ([]plotters.Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	switch format {
-	case "binary":
-		return plotters.ReadTrace(f)
-	case "csv":
-		return plotters.ReadTraceCSV(f)
-	case "jsonl":
-		return plotters.ReadTraceJSONL(f)
-	default:
-		return nil, fmt.Errorf("unknown format %q", format)
+	tr, err := plotters.NewTraceReader(f, format)
+	if err != nil {
+		return nil, err
+	}
+	plotters.MeterTraceReader(tr, reg)
+	var records []plotters.Record
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return records, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, rec)
 	}
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
@@ -53,18 +55,106 @@ func TestReadTraceFormats(t *testing.T) {
 			t.Fatal(err)
 		}
 		f.Close()
-		got, err := readTrace(path, tc.format)
+		reg := plotters.NewMetrics()
+		got, err := readTrace(path, tc.format, reg)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.format, err)
 		}
 		if len(got) != 1 || got[0].Src != 1 {
 			t.Errorf("%s: round trip failed", tc.format)
 		}
+		snap := reg.TakeSnapshot()
+		if n := snap.Counters["flowio/"+tc.format+"/records"]; n != 1 {
+			t.Errorf("%s: records counter = %d, want 1", tc.format, n)
+		}
 	}
-	if _, err := readTrace(filepath.Join(dir, "trace.binary"), "bogus"); err == nil {
+	if _, err := readTrace(filepath.Join(dir, "trace.binary"), "bogus", nil); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if _, err := readTrace(filepath.Join(dir, "missing"), "binary"); err == nil {
+	if _, err := readTrace(filepath.Join(dir, "missing"), "binary", nil); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// The -metrics flag must produce a valid JSON run report carrying every
+// pipeline stage's duration and survivor-count gauges.
+func TestRunReport(t *testing.T) {
+	start := time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
+	var records []plotters.Record
+	for host := 0; host < 6; host++ {
+		for i := 0; i < 40; i++ {
+			state := plotters.StateEstablished
+			if i%2 == 0 {
+				state = plotters.StateFailed
+			}
+			records = append(records, plotters.Record{
+				Src: plotters.IP(host + 1), Dst: plotters.IP(1000 + host*50 + i%8),
+				SrcPort: 1, DstPort: 2, Proto: plotters.TCP,
+				Start:   start.Add(time.Duration(i) * 30 * time.Second),
+				End:     start.Add(time.Duration(i)*30*time.Second + time.Second),
+				SrcPkts: 1, SrcBytes: uint64(100 + host*10), State: state,
+			})
+		}
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.bin")
+	f, err := os.Create(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotters.WriteTrace(f, records); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	report := filepath.Join(dir, "report.json")
+	flag.CommandLine = flag.NewFlagSet("plotfind", flag.ContinueOnError)
+	os.Args = []string{"plotfind", "-internal", "0.0.0.0/8", "-metrics", report, trace}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got runReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Tool != "plotfind" || got.Trace != trace || got.Format != "binary" {
+		t.Errorf("report header = %+v", got)
+	}
+	if got.Records != len(records) {
+		t.Errorf("report records = %d, want %d", got.Records, len(records))
+	}
+	if got.ElapsedSeconds <= 0 {
+		t.Errorf("elapsed = %v, want > 0", got.ElapsedSeconds)
+	}
+	stages := make(map[string]bool)
+	for _, s := range got.Metrics.Stages {
+		stages[s.Name] = true
+		if s.Count < 1 {
+			t.Errorf("stage %q has count %d", s.Name, s.Count)
+		}
+	}
+	for _, want := range []string{
+		"pipeline", "pipeline/extract", "pipeline/reduction", "pipeline/vol",
+		"pipeline/churn", "pipeline/hm",
+	} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from report", want)
+		}
+	}
+	for _, want := range []string{
+		"pipeline/hosts/analyzed", "pipeline/hosts/reduction", "pipeline/hosts/vol",
+		"pipeline/hosts/churn", "pipeline/hosts/suspects",
+	} {
+		if _, ok := got.Metrics.Gauges[want]; !ok {
+			t.Errorf("gauge %q missing from report", want)
+		}
+	}
+	if n := got.Metrics.Counters["flowio/binary/records"]; n != int64(len(records)) {
+		t.Errorf("flowio/binary/records = %d, want %d", n, len(records))
 	}
 }

@@ -7,8 +7,12 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -23,14 +27,28 @@ func main() {
 }
 
 func run() error {
+	serve := flag.String("serve", "", "serve live metrics and pprof over HTTP on this address (e.g. localhost:6060); blocks after the feed finishes")
+	flag.Parse()
+
 	start := time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
 	rng := rand.New(rand.NewSource(31))
+
+	// Instrument the streaming chain so a deployment can watch record
+	// rates, the reorder buffer, and tracked-host counts live.
+	reg := plotters.NewMetrics()
+	if *serve != "" {
+		addr, err := serveMetrics(*serve, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics at http://%s/metrics (Prometheus text; ?format=json for JSON), pprof at http://%s/debug/pprof/\n", addr, addr)
+	}
 
 	// The streaming chain: assembler → incremental extractor.
 	// Flow monitors report records at flow *end*, so the feed is only
 	// approximately start-ordered; tolerate the assembler's idle-timeout
 	// worth of reordering.
-	extractor := plotters.NewStreamExtractorSkew(plotters.FeatureOptions{Hosts: plotters.IsInternal}, 10*time.Minute)
+	extractor := plotters.NewStreamExtractorSkew(plotters.FeatureOptions{Hosts: plotters.IsInternal}, 10*time.Minute).Metrics(reg)
 	flows := 0
 	asm, err := plotters.NewAssembler(plotters.DefaultAssemblerConfig(), func(r plotters.Record) {
 		flows++
@@ -73,7 +91,35 @@ func run() error {
 	// The machine-timed beacons stand out on the volume + timing axes
 	// even before clustering: tiny flows, metronomic interstitials.
 	fmt.Println("\nhosts 128.2.9.1-3 are the planted beacons: note the small flows and sample-rich timing.")
+
+	if *serve != "" {
+		fmt.Println("\nfeed finished; still serving metrics — interrupt to exit.")
+		select {}
+	}
 	return nil
+}
+
+// serveMetrics starts an HTTP server exposing the registry at /metrics
+// and the runtime profiler under /debug/pprof/, returning the bound
+// address.
+func serveMetrics(addr string, reg *plotters.Metrics) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "stream-detect: metrics server:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
 }
 
 // synthesizePackets builds an interleaved packet feed.

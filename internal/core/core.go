@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"plotters/internal/flow"
+	"plotters/internal/metrics"
 	"plotters/internal/stats"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// for reproducible benchmarking and debugging). The detection output
 	// is identical at every setting; only wall-clock time changes.
 	Parallelism int
+	// Metrics, when non-nil, receives per-stage wall times, candidate-set
+	// sizes, and distance-matrix worker statistics from every pipeline
+	// run (see the run-report flags on cmd/plotfind and
+	// cmd/experiments). Nil disables instrumentation at zero cost; the
+	// detection output is identical either way.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -182,10 +189,13 @@ func NewAnalysis(records []flow.Record, internal func(flow.IP) bool, cfg Config)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	t := cfg.Metrics.StartStage("pipeline/extract")
 	feats := flow.ExtractFeatures(records, flow.FeatureOptions{
 		Hosts:        internal,
 		NewPeerGrace: cfg.NewPeerGrace,
 	})
+	t.Stop()
+	cfg.Metrics.Counter("pipeline/records").Add(int64(len(records)))
 	return &Analysis{cfg: cfg, feats: feats}, nil
 }
 

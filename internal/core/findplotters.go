@@ -37,24 +37,50 @@ func FindPlotters(records []flow.Record, internal func(flow.IP) bool, cfg Config
 	return analysis.FindPlotters()
 }
 
-// FindPlotters runs the pipeline over an existing analysis.
+// FindPlotters runs the pipeline over an existing analysis. When
+// cfg.Metrics is set, each stage's wall time lands under the
+// "pipeline/..." stages and each filter's survivor count under the
+// "pipeline/hosts/..." gauges.
 func (a *Analysis) FindPlotters() (*Result, error) {
+	reg := a.cfg.Metrics
+	total := reg.StartStage("pipeline")
+	reg.Gauge("pipeline/hosts/analyzed").Set(int64(len(a.feats)))
+
+	t := total.Child("reduction")
 	red, err := a.Reduce()
 	if err != nil {
 		return nil, fmt.Errorf("core: reduction: %w", err)
 	}
+	t.Stop()
+	reg.Gauge("pipeline/hosts/reduction").Set(int64(len(red.Kept)))
+
+	t = total.Child("vol")
 	vol, err := a.VolumeTest(red.Kept, a.cfg.VolPercentile)
 	if err != nil {
 		return nil, err
 	}
+	t.Stop()
+	reg.Gauge("pipeline/hosts/vol").Set(int64(len(vol.Kept)))
+
+	t = total.Child("churn")
 	churn, err := a.ChurnTest(red.Kept, a.cfg.ChurnPercentile)
 	if err != nil {
 		return nil, err
 	}
-	hm, err := a.HMTest(vol.Kept.Union(churn.Kept), a.cfg.HMPercentile)
+	t.Stop()
+	reg.Gauge("pipeline/hosts/churn").Set(int64(len(churn.Kept)))
+
+	union := vol.Kept.Union(churn.Kept)
+	reg.Gauge("pipeline/hosts/union").Set(int64(len(union)))
+	t = total.Child("hm")
+	hm, err := a.HMTest(union, a.cfg.HMPercentile)
 	if err != nil {
 		return nil, err
 	}
+	t.Stop()
+	reg.Gauge("pipeline/hosts/suspects").Set(int64(len(hm.Kept)))
+	total.Stop()
+
 	return &Result{
 		Analysis:  a,
 		Reduction: red,

@@ -63,9 +63,11 @@ type HMResult struct {
 // share timer structure and co-cluster tightly; human-driven hosts do
 // not.
 func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
+	reg := a.cfg.Metrics
 	hosts := make([]flow.IP, 0, len(s))
 	hists := make([]*histogram.Histogram, 0, len(s))
 	skipped := 0
+	t := reg.StartStage("pipeline/hm/histograms")
 	for _, h := range s.Sorted() {
 		f, ok := a.feats[h]
 		if !ok || len(f.Interstitials) < a.cfg.MinInterstitialSamples {
@@ -83,6 +85,9 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		hosts = append(hosts, h)
 		hists = append(hists, hist)
 	}
+	t.Stop()
+	reg.Gauge("pipeline/hm/clustered").Set(int64(len(hosts)))
+	reg.Gauge("pipeline/hm/skipped").Set(int64(skipped))
 	if len(hosts) < 2 {
 		return HMResult{Kept: HostSet{}, Skipped: skipped, Clustered: len(hosts)}, nil
 	}
@@ -92,6 +97,7 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 	// pairwise comparisons then run allocation-free. Hosts are in sorted
 	// address order, so any signature error reports the first offending
 	// host deterministically.
+	t = reg.StartStage("pipeline/hm/signatures")
 	sigs := make([]*emd.Signature, len(hists))
 	for i, h := range hists {
 		pos, w := h.Signature()
@@ -101,12 +107,15 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		}
 		sigs[i] = sig
 	}
+	t.Stop()
 	// The matrix is the pipeline's dominant cost; distmatrix shards it
 	// across cfg.Parallelism workers (0 = all CPUs) with output — values
 	// and any error — bit-identical to a sequential i-then-j loop.
+	t = reg.StartStage("pipeline/hm/matrix")
 	dist, err := distmatrix.Compute(context.Background(), len(hosts),
 		func(i, j int) (float64, error) { return sigs[i].Distance(sigs[j]), nil },
-		distmatrix.Options{Parallelism: a.cfg.Parallelism})
+		distmatrix.Options{Parallelism: a.cfg.Parallelism, Metrics: reg})
+	t.Stop()
 	if err != nil {
 		var pe *distmatrix.PairError
 		if errors.As(err, &pe) {
@@ -115,11 +124,13 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		return HMResult{}, fmt.Errorf("core: distance matrix: %w", err)
 	}
 
+	t = reg.StartStage("pipeline/hm/cluster")
 	dendro, err := cluster.Agglomerate(len(hosts), dist.DistFunc())
 	if err != nil {
 		return HMResult{}, fmt.Errorf("core: clustering: %w", err)
 	}
 	groups := dendro.CutTopFraction(a.cfg.CutFraction)
+	t.Stop()
 
 	// Multi-member clusters only: a lone machine-like host has no botnet
 	// peer to corroborate it.
@@ -137,6 +148,7 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		clusters = append(clusters, HMCluster{Hosts: ips, Diameter: diam})
 		diameters = append(diameters, diam)
 	}
+	reg.Gauge("pipeline/hm/clusters").Set(int64(len(clusters)))
 	result := HMResult{Kept: HostSet{}, Clusters: clusters, Clustered: len(hosts), Skipped: skipped}
 	if len(clusters) == 0 {
 		return result, nil

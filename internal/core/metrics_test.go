@@ -1,0 +1,119 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/metrics"
+)
+
+// pipelineRecords builds a small population where every stage of
+// FindPlotters has work to do: machine-timed low-volume bots, a
+// high-volume trader-like host, and quiet background hosts.
+func pipelineRecords() []flow.Record {
+	var records []flow.Record
+	// Four bot-like hosts: high failure rate, low (but distinct) volume,
+	// tight timers — the low-volume half survives θ_vol into θ_hm.
+	for i := 0; i < 4; i++ {
+		h := mkHost{addr: flow.IP(i + 1), flows: 150, failEach: 2, bytes: uint64(100 + i*10),
+			peers: 8, period: 30 * time.Second, jitterNS: int64(i+1) * 1000}
+		records = append(records, h.records()...)
+	}
+	// A trader-like host: fails often but ships big flows.
+	records = append(records, mkHost{addr: 10, flows: 150, failEach: 3, bytes: 800000,
+		peers: 40, period: 45 * time.Second, jitterNS: 7919}.records()...)
+	// Background hosts: rare failures keep the reduction median low.
+	for i := 0; i < 8; i++ {
+		h := mkHost{addr: flow.IP(20 + i), flows: 40, failEach: 20, bytes: 3000,
+			peers: 20, period: 2 * time.Minute, jitterNS: int64(i) * 1e7}
+		records = append(records, h.records()...)
+	}
+	return records
+}
+
+// The instrumented pipeline must report every stage's duration and the
+// survivor count of every filter — and produce the identical detection
+// result as the uninstrumented run.
+func TestFindPlottersMetrics(t *testing.T) {
+	records := pipelineRecords()
+
+	plain, err := FindPlotters(records, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.New()
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	instrumented, err := FindPlotters(records, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Suspects, instrumented.Suspects) {
+		t.Errorf("metrics changed the suspect set: %v vs %v", plain.Suspects, instrumented.Suspects)
+	}
+
+	snap := reg.TakeSnapshot()
+	stages := make(map[string]metrics.StageSnapshot, len(snap.Stages))
+	for _, s := range snap.Stages {
+		stages[s.Name] = s
+	}
+	for _, want := range []string{
+		"pipeline", "pipeline/extract", "pipeline/reduction", "pipeline/vol",
+		"pipeline/churn", "pipeline/hm", "pipeline/hm/histograms",
+		"pipeline/hm/signatures", "pipeline/hm/matrix", "pipeline/hm/cluster",
+	} {
+		s, ok := stages[want]
+		if !ok {
+			t.Errorf("stage %q missing from snapshot", want)
+			continue
+		}
+		if s.Count != 1 {
+			t.Errorf("stage %q ran %d times, want 1", want, s.Count)
+		}
+		if s.TotalSeconds < 0 {
+			t.Errorf("stage %q has negative duration", want)
+		}
+	}
+	// The sub-stages cannot exceed their parent.
+	if hm := stages["pipeline/hm"]; stages["pipeline/hm/matrix"].TotalSeconds > hm.TotalSeconds {
+		t.Errorf("hm/matrix (%v) longer than hm (%v)",
+			stages["pipeline/hm/matrix"].TotalSeconds, hm.TotalSeconds)
+	}
+
+	wantGauges := map[string]int64{
+		"pipeline/hosts/analyzed":  int64(len(instrumented.Analysis.Hosts())),
+		"pipeline/hosts/reduction": int64(len(instrumented.Reduction.Kept)),
+		"pipeline/hosts/vol":       int64(len(instrumented.Volume.Kept)),
+		"pipeline/hosts/churn":     int64(len(instrumented.Churn.Kept)),
+		"pipeline/hosts/union":     int64(len(instrumented.Volume.Kept.Union(instrumented.Churn.Kept))),
+		"pipeline/hosts/suspects":  int64(len(instrumented.Suspects)),
+		"pipeline/hm/clustered":    int64(instrumented.HM.Clustered),
+		"pipeline/hm/skipped":      int64(instrumented.HM.Skipped),
+		"pipeline/hm/clusters":     int64(len(instrumented.HM.Clusters)),
+	}
+	for name, want := range wantGauges {
+		if got, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %q missing from snapshot", name)
+		} else if got != want {
+			t.Errorf("gauge %q = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Counters["pipeline/records"] != int64(len(records)) {
+		t.Errorf("pipeline/records = %d, want %d", snap.Counters["pipeline/records"], len(records))
+	}
+}
+
+// A nil registry must not disturb the pipeline (the zero-cost path).
+func TestFindPlottersNilMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Metrics != nil {
+		t.Fatal("default config should not carry a registry")
+	}
+	if _, err := FindPlotters(pipelineRecords(), nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"plotters/internal/metrics"
 )
 
 // DistFunc reports the distance between items i and j (i < j). It must
@@ -88,6 +91,13 @@ type Options struct {
 	// sequentially even when Parallelism allows more. 0 means
 	// DefaultSequentialCutoff; negative disables the cutoff.
 	SequentialCutoff int
+	// Metrics, when non-nil, receives the computation's statistics:
+	// the "distmatrix/pairs" counter (distance evaluations performed),
+	// the "distmatrix/workers" gauge (effective pool size), and the
+	// "distmatrix/worker_busy" histogram (each worker's busy wall time,
+	// whose spread exposes load imbalance). Recording happens per worker
+	// lifetime, never per pair, so the hot loop is untouched.
+	Metrics *metrics.Registry
 }
 
 // DefaultSequentialCutoff is the default n below which the worker pool
@@ -124,13 +134,15 @@ func Compute(ctx context.Context, n int, dist DistFunc, opts Options) (*Matrix, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if opts.workers(n) <= 1 {
-		if err := computeSeq(ctx, m, dist); err != nil {
+	workers := opts.workers(n)
+	opts.Metrics.Gauge("distmatrix/workers").Set(int64(workers))
+	if workers <= 1 {
+		if err := computeSeq(ctx, m, dist, opts.Metrics); err != nil {
 			return nil, err
 		}
 		return m, nil
 	}
-	if err := computePar(ctx, m, dist, opts.workers(n)); err != nil {
+	if err := computePar(ctx, m, dist, workers, opts.Metrics); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -143,9 +155,16 @@ const ctxCheckStride = 256
 
 // computeSeq is the deterministic reference path: rows ascending, then
 // columns ascending, stopping at the first error.
-func computeSeq(ctx context.Context, m *Matrix, dist DistFunc) error {
+func computeSeq(ctx context.Context, m *Matrix, dist DistFunc, reg *metrics.Registry) error {
 	done := ctx.Done()
 	pairs := 0
+	if reg != nil {
+		start := time.Now()
+		defer func() {
+			reg.Histogram("distmatrix/worker_busy").Observe(time.Since(start))
+			reg.Counter("distmatrix/pairs").Add(int64(pairs))
+		}()
+	}
 	for i := 0; i < m.n; i++ {
 		for j := i + 1; j < m.n; j++ {
 			if pairs++; pairs%ctxCheckStride == 0 && done != nil {
@@ -203,7 +222,7 @@ func (e *PairError) Unwrap() error { return e.Err }
 // the final bound is therefore evaluated, so the reported error is
 // exactly the one the sequential loop reports. Healthy runs never touch
 // the error path's mutex.
-func computePar(ctx context.Context, m *Matrix, dist DistFunc, workers int) error {
+func computePar(ctx context.Context, m *Matrix, dist DistFunc, workers int, reg *metrics.Registry) error {
 	n := m.n
 	totalPairs := n * (n - 1) / 2
 	// ~8 blocks per worker balances the tail without cursor thrash.
@@ -231,9 +250,22 @@ func computePar(ctx context.Context, m *Matrix, dist DistFunc, workers int) erro
 		}
 	}
 
+	// Busy time and pair tallies are recorded once per worker lifetime —
+	// the per-pair loop below stays free of metrics calls.
+	pairsCtr := reg.Counter("distmatrix/pairs")
+	busyHist := reg.Histogram("distmatrix/worker_busy")
+
 	worker := func() {
 		defer wg.Done()
 		sinceCheck := 0
+		computed := 0
+		if reg != nil {
+			start := time.Now()
+			defer func() {
+				busyHist.Observe(time.Since(start))
+				pairsCtr.Add(int64(computed))
+			}()
+		}
 		for {
 			// Claim a row block sized to ~targetPairs pairs.
 			start := int(cursor.Load())
@@ -272,6 +304,7 @@ func computePar(ctx context.Context, m *Matrix, dist DistFunc, workers int) erro
 					if idx >= errBound.Load() {
 						break // rest of the row is past the first error
 					}
+					computed++
 					v, err := dist(i, j)
 					if err != nil {
 						errMu.Lock()

@@ -1,0 +1,70 @@
+package distmatrix
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"plotters/internal/metrics"
+)
+
+// Both execution paths must account for every pair exactly once and
+// report the pool shape.
+func TestComputeMetrics(t *testing.T) {
+	dist := func(i, j int) (float64, error) { return math.Abs(float64(i - j)), nil }
+	for _, tc := range []struct {
+		name        string
+		n           int
+		parallelism int
+		wantWorkers int64
+	}{
+		{"sequential", 100, 1, 1},
+		{"parallel", 100, 4, 4},
+		{"cutoff forces sequential", 10, 4, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.New()
+			_, err := Compute(context.Background(), tc.n, dist,
+				Options{Parallelism: tc.parallelism, Metrics: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := reg.TakeSnapshot()
+			wantPairs := int64(tc.n) * int64(tc.n-1) / 2
+			if got := snap.Counters["distmatrix/pairs"]; got != wantPairs {
+				t.Errorf("pairs = %d, want %d", got, wantPairs)
+			}
+			if got := snap.Gauges["distmatrix/workers"]; got != tc.wantWorkers {
+				t.Errorf("workers = %d, want %d", got, tc.wantWorkers)
+			}
+			if len(snap.Histograms) != 1 || snap.Histograms[0].Name != "distmatrix/worker_busy" {
+				t.Fatalf("histograms = %+v", snap.Histograms)
+			}
+			// One busy-time observation per worker (sequential counts as one).
+			if got := snap.Histograms[0].Count; got != tc.wantWorkers {
+				t.Errorf("worker_busy observations = %d, want %d", got, tc.wantWorkers)
+			}
+		})
+	}
+}
+
+// Metrics must not change the computed matrix.
+func TestComputeMetricsSameValues(t *testing.T) {
+	dist := func(i, j int) (float64, error) { return float64(i*31 + j), nil }
+	plain, err := Compute(context.Background(), 80, dist, Options{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, err := Compute(context.Background(), 80, dist,
+		Options{Parallelism: 3, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		for j := 0; j < 80; j++ {
+			if plain.At(i, j) != metered.At(i, j) {
+				t.Fatalf("cell (%d,%d) differs: %v vs %v", i, j, plain.At(i, j), metered.At(i, j))
+			}
+		}
+	}
+}

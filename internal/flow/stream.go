@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"plotters/internal/metrics"
 )
 
 // StreamExtractor computes the same per-host features as ExtractFeatures
@@ -28,6 +30,12 @@ type StreamExtractor struct {
 	released time.Time // start time up to which records were processed
 	count    int
 	seq      uint64
+
+	// Instrumentation (nil-safe no-ops until Metrics is called).
+	recCtr    *metrics.Counter
+	dropCtr   *metrics.Counter
+	pendingHW *metrics.Gauge
+	hostCtr   *metrics.Gauge
 }
 
 // NewStreamExtractor creates an incremental extractor requiring
@@ -54,14 +62,30 @@ func NewStreamExtractorSkew(opts FeatureOptions, maxSkew time.Duration) *StreamE
 	}
 }
 
+// Metrics attaches reg's instruments to the extractor: the
+// "stream/records" counter (records accepted), "stream/skew_drops"
+// counter (records rejected for arriving more than MaxSkew late),
+// "stream/pending_highwater" gauge (deepest the reorder buffer got),
+// and "stream/hosts" gauge (distinct initiators tracked). A nil reg
+// detaches. Returns se for chaining.
+func (se *StreamExtractor) Metrics(reg *metrics.Registry) *StreamExtractor {
+	se.recCtr = reg.Counter("stream/records")
+	se.dropCtr = reg.Counter("stream/skew_drops")
+	se.pendingHW = reg.Gauge("stream/pending_highwater")
+	se.hostCtr = reg.Gauge("stream/hosts")
+	return se
+}
+
 // Add folds one record into the running features. Records may arrive up
 // to MaxSkew out of start-time order; older records are rejected.
 func (se *StreamExtractor) Add(r *Record) error {
 	if r.Start.Before(se.released) {
+		se.dropCtr.Add(1)
 		return fmt.Errorf("flow: record at %v is more than %v behind the stream frontier %v",
 			r.Start, se.maxSkew, se.frontier)
 	}
 	se.count++
+	se.recCtr.Add(1)
 	if r.Start.After(se.frontier) {
 		se.frontier = r.Start
 	}
@@ -72,6 +96,7 @@ func (se *StreamExtractor) Add(r *Record) error {
 	}
 	se.seq++
 	heap.Push(&se.pending, pendingRecord{rec: *r, seq: se.seq})
+	se.pendingHW.SetMax(int64(len(se.pending)))
 	se.release(se.frontier.Add(-se.maxSkew))
 	return nil
 }
@@ -102,6 +127,7 @@ func (se *StreamExtractor) process(r *Record) {
 			lastStart: make(map[IP]time.Time),
 		}
 		se.builders[r.Src] = b
+		se.hostCtr.Set(int64(len(se.builders)))
 	}
 	b.observe(r, se.grace)
 }

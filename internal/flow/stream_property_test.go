@@ -1,0 +1,86 @@
+package flow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// strictlyOrderedRecords builds a random stream with strictly increasing
+// start times. Distinct starts make the batch/stream comparison exact:
+// with ties, the pooled Interstitials order would depend on which
+// equal-start record is processed first, an ambiguity the feature
+// semantics do not define.
+func strictlyOrderedRecords(rng *rand.Rand, n int) []Record {
+	at := baseTime()
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		state := StateEstablished
+		if rng.Intn(3) == 0 {
+			state = StateFailed
+		}
+		out = append(out, Record{
+			Src: IP(1 + rng.Intn(5)), Dst: IP(100 + rng.Intn(20)),
+			SrcPort: 4000, DstPort: 80, Proto: TCP,
+			Start: at, End: at.Add(time.Second),
+			SrcPkts: 1, DstPkts: 1,
+			SrcBytes: uint64(rng.Intn(5000)), DstBytes: 100,
+			State: state,
+		})
+		at = at.Add(time.Duration(1+rng.Intn(90)) * time.Second)
+	}
+	return out
+}
+
+// Property: for ANY record stream and ANY reordering that displaces each
+// record's arrival by less than maxSkew, the streaming extractor with
+// that MaxSkew reproduces the batch extractor exactly. Each record's
+// arrival key is its start plus a uniform [0, maxSkew) offset, so the
+// released watermark (frontier − maxSkew) always trails every unseen
+// record's start and nothing is ever rejected.
+func TestStreamShufflePropertyMatchesBatch(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint16, skewRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + int(sizeRaw)%400
+		maxSkew := time.Duration(1+int(skewRaw)%600) * time.Second
+
+		records := strictlyOrderedRecords(rng, n)
+		shuffled := make([]keyedRecord, n)
+		for i, r := range records {
+			shuffled[i] = keyedRecord{rec: r, key: r.Start.Add(time.Duration(rng.Int63n(int64(maxSkew))))}
+		}
+		sortKeyed(shuffled)
+
+		se := NewStreamExtractorSkew(FeatureOptions{}, maxSkew)
+		for i := range shuffled {
+			if err := se.Add(&shuffled[i].rec); err != nil {
+				t.Logf("seed %d: record rejected: %v", seed, err)
+				return false
+			}
+		}
+		se.Drain()
+		if se.Pending() != 0 {
+			t.Logf("seed %d: %d records still pending after drain", seed, se.Pending())
+			return false
+		}
+
+		batch := ExtractFeatures(records, FeatureOptions{})
+		stream := se.Snapshot()
+		if len(batch) != len(stream) {
+			t.Logf("seed %d: host counts differ: %d vs %d", seed, len(batch), len(stream))
+			return false
+		}
+		for ip, bf := range batch {
+			if !reflect.DeepEqual(bf, stream[ip]) {
+				t.Logf("seed %d: host %v differs:\nbatch  %+v\nstream %+v", seed, ip, bf, stream[ip])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

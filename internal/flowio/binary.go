@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"plotters/internal/flow"
+	"plotters/internal/metrics"
 )
 
 // magic identifies the binary trace format, versioned in the last byte.
@@ -95,14 +96,17 @@ func (bw *BinaryWriter) Flush() error {
 // BinaryReader streams records from an io.Reader produced by
 // BinaryWriter.
 type BinaryReader struct {
+	src     *countReader
 	r       *bufio.Reader
 	started bool
+	records *metrics.Counter
 	buf     [binaryHeaderSize]byte
 }
 
 // NewBinaryReader wraps r.
 func NewBinaryReader(r io.Reader) *BinaryReader {
-	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+	src := &countReader{r: r}
+	return &BinaryReader{src: src, r: bufio.NewReaderSize(src, 1<<16)}
 }
 
 // Next returns the next record, or io.EOF at end of trace.
@@ -151,6 +155,7 @@ func (br *BinaryReader) Next() (flow.Record, error) {
 			return flow.Record{}, fmt.Errorf("flowio: reading payload: %w", err)
 		}
 	}
+	br.records.Add(1)
 	return r, nil
 }
 

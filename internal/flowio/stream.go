@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"plotters/internal/flow"
+	"plotters/internal/metrics"
 )
 
 // Reader is the streaming decode interface implemented by all three
@@ -36,16 +37,19 @@ var (
 
 // CSVReader streams records from CSV.
 type CSVReader struct {
-	cr     *csv.Reader
-	header bool
-	line   int
+	src     *countReader
+	cr      *csv.Reader
+	header  bool
+	line    int
+	records *metrics.Counter
 }
 
 // NewCSVReader wraps r.
 func NewCSVReader(r io.Reader) *CSVReader {
-	cr := csv.NewReader(r)
+	src := &countReader{r: r}
+	cr := csv.NewReader(src)
 	cr.FieldsPerRecord = len(csvHeader)
-	return &CSVReader{cr: cr}
+	return &CSVReader{src: src, cr: cr}
 }
 
 // Next returns the next record, or io.EOF at end of input.
@@ -78,6 +82,7 @@ func (c *CSVReader) Next() (flow.Record, error) {
 	if err != nil {
 		return flow.Record{}, fmt.Errorf("flowio: CSV line %d: %w", c.line, err)
 	}
+	c.records.Add(1)
 	return rec, nil
 }
 
@@ -128,13 +133,16 @@ func (c *CSVWriter) Flush() error {
 
 // JSONLReader streams records from JSON Lines.
 type JSONLReader struct {
-	dec  *json.Decoder
-	line int
+	src     *countReader
+	dec     *json.Decoder
+	line    int
+	records *metrics.Counter
 }
 
 // NewJSONLReader wraps r.
 func NewJSONLReader(r io.Reader) *JSONLReader {
-	return &JSONLReader{dec: json.NewDecoder(r)}
+	src := &countReader{r: r}
+	return &JSONLReader{src: src, dec: json.NewDecoder(src)}
 }
 
 // Next returns the next record, or io.EOF at end of input.
@@ -151,6 +159,7 @@ func (j *JSONLReader) Next() (flow.Record, error) {
 	if err != nil {
 		return flow.Record{}, fmt.Errorf("flowio: JSONL record %d: %w", j.line, err)
 	}
+	j.records.Add(1)
 	return rec, nil
 }
 

@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil registry must be a complete no-op sink: nil instruments, no-op
+// timers, an empty snapshot, and no panics anywhere.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(7)
+	r.Gauge("g").SetMax(9)
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(time.Second)
+	r.Stage("s").Observe(time.Second)
+	timer := r.StartStage("x")
+	if d := timer.Stop(); d != 0 {
+		t.Errorf("no-op timer returned %v", d)
+	}
+	if d := timer.Child("y").Stop(); d != 0 {
+		t.Errorf("no-op child timer returned %v", d)
+	}
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	snap := r.TakeSnapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Stages)+len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("flows")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	if r.Counter("flows") != c {
+		t.Error("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.SetMax(5) // lower: must not move
+	if g.Value() != 10 {
+		t.Errorf("SetMax lowered gauge to %d", g.Value())
+	}
+	g.SetMax(12)
+	if g.Value() != 12 {
+		t.Errorf("SetMax did not raise gauge: %d", g.Value())
+	}
+	g.Add(-2)
+	if g.Value() != 10 {
+		t.Errorf("Add(-2) = %d, want 10", g.Value())
+	}
+}
+
+func TestStageStats(t *testing.T) {
+	r := New()
+	s := r.Stage("hm")
+	s.Observe(10 * time.Millisecond)
+	s.Observe(30 * time.Millisecond)
+	s.Observe(20 * time.Millisecond)
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if s.Total() != 60*time.Millisecond {
+		t.Errorf("total = %v", s.Total())
+	}
+	snap := r.TakeSnapshot()
+	if len(snap.Stages) != 1 {
+		t.Fatalf("stages = %+v", snap.Stages)
+	}
+	st := snap.Stages[0]
+	if st.Name != "hm" || st.Count != 3 {
+		t.Errorf("stage snapshot = %+v", st)
+	}
+	if st.MinSeconds != 0.01 || st.MaxSeconds != 0.03 {
+		t.Errorf("min/max = %v/%v, want 0.01/0.03", st.MinSeconds, st.MaxSeconds)
+	}
+	if st.MeanSeconds < 0.0199 || st.MeanSeconds > 0.0201 {
+		t.Errorf("mean = %v, want 0.02", st.MeanSeconds)
+	}
+}
+
+func TestStageTimerNesting(t *testing.T) {
+	r := New()
+	outer := r.StartStage("pipeline")
+	inner := outer.Child("matrix")
+	time.Sleep(time.Millisecond)
+	if d := inner.Stop(); d <= 0 {
+		t.Errorf("inner elapsed %v", d)
+	}
+	if d := outer.Stop(); d <= 0 {
+		t.Errorf("outer elapsed %v", d)
+	}
+	snap := r.TakeSnapshot()
+	names := make([]string, len(snap.Stages))
+	for i, s := range snap.Stages {
+		names[i] = s.Name
+	}
+	want := []string{"pipeline", "pipeline/matrix"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Errorf("stage names = %v, want %v", names, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("busy")
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(3 * time.Microsecond)
+	h.Observe(time.Second)
+	h.Observe(-time.Second) // clamps to 0
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	snap := r.TakeSnapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	hs := snap.Histograms[0]
+	if hs.Count != 4 {
+		t.Errorf("snapshot count = %d", hs.Count)
+	}
+	// Buckets must be cumulative and end at the full count.
+	last := int64(0)
+	for _, b := range hs.Buckets {
+		if b.Count < last {
+			t.Errorf("buckets not cumulative: %+v", hs.Buckets)
+		}
+		last = b.Count
+	}
+	if last != 4 {
+		t.Errorf("final cumulative bucket = %d, want 4", last)
+	}
+}
+
+// Concurrent hammering under -race: one counter, one high-water gauge,
+// one histogram, one stage from many goroutines.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	s := r.Stage("s")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+				g.SetMax(int64(w*per + i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+				s.Observe(time.Duration(i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per-1 {
+		t.Errorf("gauge high-water = %d, want %d", g.Value(), workers*per-1)
+	}
+	if h.Count() != workers*per || s.Count() != workers*per {
+		t.Errorf("hist count = %d, stage count = %d", h.Count(), s.Count())
+	}
+	snap := r.TakeSnapshot()
+	if snap.Stages[0].MinSeconds != 1e-6 {
+		t.Errorf("stage min = %v, want 1µs", snap.Stages[0].MinSeconds)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("flowio/binary/records").Add(42)
+	r.Gauge("pipeline/hosts/analyzed").Set(360)
+	r.Stage("pipeline/hm").Observe(123 * time.Millisecond)
+	r.Histogram("distmatrix/worker_busy").Observe(5 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.TakeSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Counters["flowio/binary/records"] != 42 {
+		t.Errorf("counter lost in round trip: %+v", back.Counters)
+	}
+	if back.Gauges["pipeline/hosts/analyzed"] != 360 {
+		t.Errorf("gauge lost in round trip: %+v", back.Gauges)
+	}
+	if len(back.Stages) != 1 || back.Stages[0].Name != "pipeline/hm" || back.Stages[0].Count != 1 {
+		t.Errorf("stages lost in round trip: %+v", back.Stages)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 1 {
+		t.Errorf("histograms lost in round trip: %+v", back.Histograms)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New()
+	r.Counter("flowio/binary/records").Add(7)
+	r.Gauge("stream/pending_highwater").Set(12)
+	r.Stage("pipeline/hm/matrix").Observe(time.Millisecond)
+	r.Histogram("distmatrix/worker_busy").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.TakeSnapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"plotters_flowio_binary_records_total 7",
+		"plotters_stream_pending_highwater 12",
+		"plotters_pipeline_hm_matrix_seconds_total",
+		"plotters_pipeline_hm_matrix_count 1",
+		"plotters_distmatrix_worker_busy_bucket{le=\"+Inf\"} 1",
+		"plotters_distmatrix_worker_busy_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(1)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	if _, err := text.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(text.String(), "plotters_c_total 1") {
+		t.Errorf("text endpoint: %q", text.String())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("json endpoint: %v", err)
+	}
+	if snap.Counters["c"] != 1 {
+		t.Errorf("json snapshot = %+v", snap)
+	}
+}
+
+// Recording on pre-fetched instruments must not allocate — the
+// pipeline's hot loops depend on it.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	s := r.Stage("s")
+	for name, fn := range map[string]func(){
+		"counter": func() { c.Add(1) },
+		"gauge":   func() { g.SetMax(3) },
+		"hist":    func() { h.Observe(time.Microsecond) },
+		"stage":   func() { s.Observe(time.Microsecond) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs per op", name, allocs)
+		}
+	}
+}

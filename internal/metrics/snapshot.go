@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// shaped for serialization: counters and gauges as name→value maps,
+// stages and histograms as name-sorted lists. A Snapshot of a nil
+// registry is empty but valid.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Stages     []StageSnapshot     `json:"stages,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// StageSnapshot is one stage's accumulated timing.
+type StageSnapshot struct {
+	Name         string  `json:"name"`
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// HistogramBucket is one cumulative histogram bucket: Count
+// observations were at most LESeconds.
+type HistogramBucket struct {
+	LESeconds float64 `json:"le_seconds"`
+	Count     int64   `json:"count"`
+}
+
+// HistogramSnapshot is one duration histogram's state. Buckets are
+// cumulative (Prometheus-style) and trailing all-inclusive buckets are
+// trimmed.
+type HistogramSnapshot struct {
+	Name       string            `json:"name"`
+	Count      int64             `json:"count"`
+	SumSeconds float64           `json:"sum_seconds"`
+	Buckets    []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// TakeSnapshot copies the registry's current state. Safe to call while
+// instruments are being updated; each instrument is read atomically
+// (the snapshot as a whole is not a single atomic cut, which run
+// reports do not need).
+func (r *Registry) TakeSnapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	stages := make(map[string]*Stage, len(r.stages))
+	for k, v := range r.stages {
+		stages[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{}
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for name, c := range counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(gauges))
+		for name, g := range gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	for _, name := range sortedKeys(stages) {
+		s := stages[name]
+		count := s.count.Load()
+		total := time.Duration(s.total.Load()).Seconds()
+		ss := StageSnapshot{
+			Name:         name,
+			Count:        count,
+			TotalSeconds: total,
+			MaxSeconds:   time.Duration(s.max.Load()).Seconds(),
+		}
+		if count > 0 {
+			ss.MeanSeconds = total / float64(count)
+			ss.MinSeconds = time.Duration(s.min.Load()).Seconds()
+		}
+		snap.Stages = append(snap.Stages, ss)
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		hs := HistogramSnapshot{
+			Name:       name,
+			Count:      h.count.Load(),
+			SumSeconds: time.Duration(h.sumNS.Load()).Seconds(),
+		}
+		cum := int64(0)
+		for i := 0; i < histogramBuckets; i++ {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			// Bucket i holds observations up to 2^i µs.
+			le := time.Duration(int64(1)<<uint(i)) * time.Microsecond
+			hs.Buckets = append(hs.Buckets, HistogramBucket{
+				LESeconds: le.Seconds(),
+				Count:     cum,
+			})
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// metricName maps a slash-separated instrument name onto one flat
+// Prometheus-compatible metric name under the plotters_ namespace.
+func metricName(name string) string {
+	var b strings.Builder
+	b.WriteString("plotters_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteText writes the snapshot in Prometheus/expvar-style text
+// exposition: one "name value" line per sample, counters suffixed
+// _total, stages expanded into _seconds_total/_count/_min/_max, and
+// histograms into cumulative _bucket{le="..."} lines plus _sum and
+// _count.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "%s_total %d\n", metricName(name), s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "%s %d\n", metricName(name), s.Gauges[name])
+	}
+	for _, st := range s.Stages {
+		m := metricName(st.Name)
+		fmt.Fprintf(&b, "%s_seconds_total %g\n", m, st.TotalSeconds)
+		fmt.Fprintf(&b, "%s_count %d\n", m, st.Count)
+		fmt.Fprintf(&b, "%s_min_seconds %g\n", m, st.MinSeconds)
+		fmt.Fprintf(&b, "%s_max_seconds %g\n", m, st.MaxSeconds)
+	}
+	for _, h := range s.Histograms {
+		m := metricName(h.Name)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m, fmt.Sprintf("%g", bk.LESeconds), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(&b, "%s_sum %g\n", m, h.SumSeconds)
+		fmt.Fprintf(&b, "%s_count %d\n", m, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an HTTP handler exposing the registry: Prometheus
+// text by default, JSON with ?format=json (or an Accept header asking
+// for application/json). Works on a nil registry (serves an empty
+// snapshot).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.TakeSnapshot()
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := snap.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

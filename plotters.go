@@ -44,6 +44,7 @@ import (
 	"plotters/internal/flow"
 	"plotters/internal/flowio"
 	"plotters/internal/label"
+	"plotters/internal/metrics"
 	"plotters/internal/overlay"
 	"plotters/internal/synth"
 	"plotters/internal/synth/plotter"
@@ -419,4 +420,28 @@ func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
 // buffering), returning the record count.
 func CopyTrace(w TraceWriter, r TraceReader) (int, error) {
 	return flowio.Copy(w, r)
+}
+
+// Observability. Attach a Metrics registry to Config.Metrics (and to
+// readers and stream extractors) to collect per-stage wall times,
+// candidate-set sizes, and I/O volumes from a run; a nil registry keeps
+// every hot path instrument-free.
+type (
+	// Metrics collects counters, gauges, and stage timings from an
+	// instrumented pipeline run. The zero value is not usable; a nil
+	// *Metrics is a valid no-op sink.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is a consistent point-in-time view of a Metrics
+	// registry, serializable as JSON or Prometheus-style text.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// MeterTraceReader attaches reg's flowio counters (records decoded,
+// bytes consumed) to a reader returned by NewTraceReader. Readers from
+// other packages are returned untouched.
+func MeterTraceReader(r TraceReader, reg *Metrics) TraceReader {
+	return flowio.MeterReader(r, reg)
 }
