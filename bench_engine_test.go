@@ -1,0 +1,98 @@
+// Benchmarks for the continuous detection engine: concurrent ingest
+// into the sharded feature store, and the window seal → detect → rotate
+// cycle the engine runs at every boundary.
+package plotters_test
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"plotters"
+)
+
+// engineBenchRecords reuses the θ_hm benchmark corpus, start-ordered as
+// a stream, with a deterministic spread of failed connections so the
+// reduction's median keeps a realistic fraction of hosts.
+func engineBenchRecords(n int) []plotters.Record {
+	records := hmBenchRecords(n)
+	for i := range records {
+		if (i+int(records[i].Src))%3 == 0 {
+			records[i].State = plotters.StateFailed
+			records[i].SrcBytes, records[i].DstBytes = 60, 0
+		}
+	}
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].Start.Before(records[j].Start)
+	})
+	return records
+}
+
+// BenchmarkShardedIngest measures concurrent feature accumulation at 1,
+// 4, and NumCPU shards: GOMAXPROCS goroutines stripe one start-ordered
+// stream round-robin into the store, then drain it. A single shard
+// serializes every Add behind one lock; more shards spread the
+// contention by source-address hash.
+func BenchmarkShardedIngest(b *testing.B) {
+	records := engineBenchRecords(512)
+	span := records[len(records)-1].Start.Sub(records[0].Start)
+	workers := runtime.GOMAXPROCS(0)
+	for _, shards := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				se := plotters.NewShardedExtractorSkew(plotters.FeatureOptions{}, shards, span+time.Hour)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := w; j < len(records); j += workers {
+							if err := se.Add(&records[j]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				se.Drain()
+			}
+			b.ReportMetric(float64(len(records)), "records/op")
+		})
+	}
+}
+
+// BenchmarkWindowAdvance measures the engine's per-boundary cycle —
+// seal the pane, run the full pipeline over its features, rotate the
+// store — by streaming a fixed corpus through tumbling 15-minute
+// windows.
+func BenchmarkWindowAdvance(b *testing.B) {
+	records := engineBenchRecords(256)
+	cfg := plotters.DefaultConfig()
+	cfg.MinInterstitialSamples = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		windows := 0
+		eng, err := plotters.NewWindowedDetector(plotters.EngineConfig{
+			Window: 15 * time.Minute,
+			Origin: records[0].Start,
+			Core:   cfg,
+		}, func(*plotters.WindowResult) error { windows++; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range records {
+			if err := eng.Add(&records[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(windows), "windows/op")
+	}
+}

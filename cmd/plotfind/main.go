@@ -5,6 +5,15 @@
 // Usage:
 //
 //	plotfind [-format binary|csv|jsonl] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
+//	plotfind -window 6h [-slide 1h] [-shards N] [-skew 5m] ... TRACE
+//
+// With -window, the trace streams through the continuous windowed
+// detection engine instead of one batch run: records feed a sharded
+// feature store and the full pipeline runs at every window boundary,
+// printing one summary per window. The trace is never held in memory.
+// -slide turns the tumbling windows into overlapping sliding ones,
+// -shards sizes the feature store, and -skew sets the reorder tolerance
+// for out-of-order feeds.
 //
 // With -metrics, a JSON run report is written to FILE: trace metadata,
 // total elapsed time, and a full metrics snapshot with every pipeline
@@ -43,6 +52,10 @@ func run() error {
 		hmPct     = flag.Float64("hm-pct", 0, "override τ_hm percentile (0 = default)")
 		parallel  = flag.Int("parallelism", 0, "worker count for the θ_hm distance matrix (0 = all CPUs, 1 = sequential)")
 		metricsTo = flag.String("metrics", "", "write a JSON run report (stage timings, survivor counts, I/O volume) to this file")
+		window    = flag.Duration("window", 0, "run continuous windowed detection with this window length instead of one batch run")
+		slide     = flag.Duration("slide", 0, "sliding-window step (0 = tumbling windows; requires -window, must divide it)")
+		shards    = flag.Int("shards", 0, "feature-store shard count for -window mode (0 = one per CPU)")
+		skew      = flag.Duration("skew", 0, "out-of-order tolerance for -window mode (records later than this are dropped)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -60,12 +73,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	records, err := readTrace(flag.Arg(0), *format, reg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("loaded %d flow records from %s\n", len(records), flag.Arg(0))
-
 	cfg := plotters.DefaultConfig()
 	cfg.Metrics = reg
 	if *volPct > 0 {
@@ -78,6 +85,37 @@ func run() error {
 		cfg.HMPercentile = *hmPct
 	}
 	cfg.Parallelism = *parallel
+
+	if *window > 0 {
+		n, err := runWindowed(flag.Arg(0), *format, reg, plotters.EngineConfig{
+			Window:   *window,
+			Slide:    *slide,
+			Shards:   *shards,
+			MaxSkew:  *skew,
+			Internal: internal,
+			Core:     cfg,
+		}, *verbose)
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			if err := writeReport(*metricsTo, flag.Arg(0), *format, n, time.Since(started), reg); err != nil {
+				return err
+			}
+			fmt.Printf("\nrun report written to %s\n", *metricsTo)
+		}
+		return nil
+	}
+	if *slide > 0 || *skew > 0 || *shards > 0 {
+		return fmt.Errorf("-slide, -shards, and -skew require -window")
+	}
+
+	records, err := readTrace(flag.Arg(0), *format, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d flow records from %s\n", len(records), flag.Arg(0))
+
 	res, err := plotters.FindPlotters(records, internal, cfg)
 	if err != nil {
 		return err
@@ -132,6 +170,69 @@ func run() error {
 		fmt.Printf("\nrun report written to %s\n", *metricsTo)
 	}
 	return nil
+}
+
+// runWindowed streams the trace through the continuous detection engine,
+// printing one summary per sealed window, and returns the record count.
+// The trace is read record by record — it never sits in memory.
+func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.EngineConfig, verbose bool) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	tr, err := plotters.NewTraceReader(f, format)
+	if err != nil {
+		return 0, err
+	}
+	tr = plotters.MeterTraceReader(tr, reg)
+
+	eng, err := plotters.NewWindowedDetector(cfg, func(res *plotters.WindowResult) error {
+		det := res.Detection
+		fmt.Printf("window %d %s: hosts=%d records=%d reduction=%d vol=%d churn=%d suspects=%d\n",
+			res.Index, res.Window, res.Hosts, res.Records,
+			len(det.Reduction.Kept), len(det.Volume.Kept), len(det.Churn.Kept), len(det.Suspects))
+		if verbose {
+			feats := det.Analysis.Features()
+			for _, h := range det.Suspects.Sorted() {
+				hf := feats[h]
+				fmt.Printf("  %-16s flows=%-6d avgBytes/flow=%-9.1f failedRate=%.2f newIPFraction=%.2f\n",
+					h, hf.Flows, hf.AvgBytesPerFlow(), hf.FailedRate(), hf.NewPeerFraction())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	n, dropped := 0, 0
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		if err := eng.Add(&rec); err != nil {
+			if errors.Is(err, plotters.ErrLateRecord) {
+				dropped++
+				continue
+			}
+			return n, err
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		return n, err
+	}
+	fmt.Printf("\n%d records, %d windows detected", n, eng.Windows())
+	if dropped > 0 {
+		fmt.Printf(", %d records dropped beyond the %v skew tolerance", dropped, cfg.MaxSkew)
+	}
+	fmt.Println()
+	return n, nil
 }
 
 // runReport is the JSON document -metrics emits: trace metadata plus the

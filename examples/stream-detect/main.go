@@ -1,9 +1,9 @@
 // Stream-detect: the high-volume deployment path. A busy border (the
 // paper's network ran ~5000 flows/second) cannot buffer a day of records
-// in memory, so this example drives the streaming pipeline end to end:
-// raw packets → Argus-style flow assembly → incremental per-host feature
-// extraction → periodic detection snapshots, all without materializing
-// the trace.
+// in memory, so this example drives the continuous detection engine end
+// to end: raw packets → Argus-style flow assembly → sharded feature
+// accumulation → the full FindPlotters pipeline at every window
+// boundary, all without materializing the trace.
 package main
 
 import (
@@ -28,13 +28,15 @@ func main() {
 
 func run() error {
 	serve := flag.String("serve", "", "serve live metrics and pprof over HTTP on this address (e.g. localhost:6060); blocks after the feed finishes")
+	window := flag.Duration("window", 30*time.Minute, "detection window length")
 	flag.Parse()
 
 	start := time.Date(2007, time.November, 5, 9, 0, 0, 0, time.UTC)
 	rng := rand.New(rand.NewSource(31))
 
-	// Instrument the streaming chain so a deployment can watch record
-	// rates, the reorder buffer, and tracked-host counts live.
+	// Instrument the whole chain so a deployment can watch record rates,
+	// the reorder buffer, shard depth, and per-window pipeline stage
+	// times live.
 	reg := plotters.NewMetrics()
 	if *serve != "" {
 		addr, err := serveMetrics(*serve, reg)
@@ -44,16 +46,34 @@ func run() error {
 		fmt.Printf("metrics at http://%s/metrics (Prometheus text; ?format=json for JSON), pprof at http://%s/debug/pprof/\n", addr, addr)
 	}
 
-	// The streaming chain: assembler → incremental extractor.
-	// Flow monitors report records at flow *end*, so the feed is only
+	// The detection pipeline, scaled to a demo-sized population: the
+	// synthetic feed's hosts make far fewer contacts per window than a
+	// campus day, so θ_hm needs a lower sample floor.
+	cfg := plotters.DefaultConfig()
+	cfg.MinInterstitialSamples = 20
+	cfg.Metrics = reg
+
+	// The continuous engine: tumbling windows over the live feed. Flow
+	// monitors report records at flow *end*, so the feed is only
 	// approximately start-ordered; tolerate the assembler's idle-timeout
-	// worth of reordering.
-	extractor := plotters.NewStreamExtractorSkew(plotters.FeatureOptions{Hosts: plotters.IsInternal}, 10*time.Minute).Metrics(reg)
+	// worth of reordering before sealing a window.
+	eng, err := plotters.NewWindowedDetector(plotters.EngineConfig{
+		Window:   *window,
+		Origin:   start,
+		MaxSkew:  10 * time.Minute,
+		Internal: plotters.IsInternal,
+		Core:     cfg,
+	}, reportWindow)
+	if err != nil {
+		return err
+	}
+
+	// The streaming chain: assembler → windowed engine.
 	flows := 0
 	asm, err := plotters.NewAssembler(plotters.DefaultAssemblerConfig(), func(r plotters.Record) {
 		flows++
-		if err := extractor.Add(&r); err != nil {
-			fmt.Fprintln(os.Stderr, "extract:", err)
+		if err := eng.Add(&r); err != nil {
+			fmt.Fprintln(os.Stderr, "engine:", err)
 		}
 	})
 	if err != nil {
@@ -62,39 +82,44 @@ func run() error {
 
 	// Synthesize a packet feed: 30 ordinary web hosts and 3 machines
 	// running a periodic bot-like beacon, interleaved packet by packet.
-	fmt.Println("streaming a synthetic packet feed through assembly + extraction...")
+	fmt.Println("streaming a synthetic packet feed through assembly + windowed detection...")
 	packets := synthesizePackets(rng, start)
-	fmt.Printf("feed: %d packets over 2 simulated hours\n", len(packets))
+	fmt.Printf("feed: %d packets over 2 simulated hours, %v windows\n\n", len(packets), *window)
 	for i := range packets {
 		if err := asm.Observe(packets[i]); err != nil {
 			return err
 		}
 	}
 	asm.Flush()
-	extractor.Drain()
-	fmt.Printf("assembled %d bi-directional flow records; tracking %d hosts\n", flows, extractor.Hosts())
-
-	// Periodic detection snapshot: in production this would run at the
-	// end of each detection window using the extractor's live features.
-	feats := extractor.Snapshot()
-	fmt.Println("\nper-host features (streaming, no trace buffered):")
-	fmt.Println("  host             flows  avgBytes  failRate  newIPs  interstitials")
-	for _, host := range sortedHosts(feats) {
-		f := feats[host]
-		if f.Flows < 20 {
-			continue
-		}
-		fmt.Printf("  %-16s %5d  %8.0f  %8.2f  %6.2f  %13d\n",
-			host, f.Flows, f.AvgBytesPerFlow(), f.FailedRate(), f.NewPeerFraction(), len(f.Interstitials))
+	if err := eng.Flush(); err != nil {
+		return err
 	}
+	fmt.Printf("\nassembled %d bi-directional flow records; %d windows detected\n", flows, eng.Windows())
 
-	// The machine-timed beacons stand out on the volume + timing axes
-	// even before clustering: tiny flows, metronomic interstitials.
-	fmt.Println("\nhosts 128.2.9.1-3 are the planted beacons: note the small flows and sample-rich timing.")
+	// The machine-timed beacons stand out every window: high failure
+	// rates put them past the reduction, tiny flows past θ_vol, and
+	// metronomic interstitials cluster them tightly in θ_hm.
+	fmt.Println("hosts 128.2.9.1-3 are the planted beacons.")
 
 	if *serve != "" {
 		fmt.Println("\nfeed finished; still serving metrics — interrupt to exit.")
 		select {}
+	}
+	return nil
+}
+
+// reportWindow prints one sealed window's pipeline outcome.
+func reportWindow(res *plotters.WindowResult) error {
+	det := res.Detection
+	fmt.Printf("window %d %s\n", res.Index, res.Window)
+	fmt.Printf("  hosts=%d records=%d | reduction=%d θ_vol=%d θ_churn=%d → suspects=%d\n",
+		res.Hosts, res.Records,
+		len(det.Reduction.Kept), len(det.Volume.Kept), len(det.Churn.Kept), len(det.Suspects))
+	feats := det.Analysis.Features()
+	for _, h := range det.Suspects.Sorted() {
+		f := feats[h]
+		fmt.Printf("  suspect %-16s flows=%-5d avgBytes/flow=%-8.1f failedRate=%.2f interstitials=%d\n",
+			h, f.Flows, f.AvgBytesPerFlow(), f.FailedRate(), len(f.Interstitials))
 	}
 	return nil
 }
@@ -127,7 +152,9 @@ func synthesizePackets(rng *rand.Rand, start time.Time) []plotters.Packet {
 	var pkts []plotters.Packet
 	add := func(p plotters.Packet) { pkts = append(pkts, p) }
 
-	// Web browsers.
+	// Web browsers; the occasional server never answers, so the
+	// population has a realistic spread of failure rates for the
+	// reduction's median to work with.
 	for h := 0; h < 30; h++ {
 		client, _ := plotters.ParseIP(fmt.Sprintf("128.2.8.%d", h+1))
 		at := start.Add(time.Duration(rng.Intn(600)) * time.Second)
@@ -137,12 +164,14 @@ func synthesizePackets(rng *rand.Rand, start time.Time) []plotters.Packet {
 			port++
 			add(plotters.Packet{Time: at, Src: client, Dst: server, SrcPort: port, DstPort: 80,
 				Proto: plotters.TCP, Bytes: 60, SYN: true})
-			add(plotters.Packet{Time: at.Add(20 * time.Millisecond), Src: server, Dst: client, SrcPort: 80, DstPort: port,
-				Proto: plotters.TCP, Bytes: 60, SYN: true, ACK: true})
-			add(plotters.Packet{Time: at.Add(40 * time.Millisecond), Src: client, Dst: server, SrcPort: port, DstPort: 80,
-				Proto: plotters.TCP, Bytes: uint32(400 + rng.Intn(800)), ACK: true, Payload: []byte("GET /")})
-			add(plotters.Packet{Time: at.Add(90 * time.Millisecond), Src: server, Dst: client, SrcPort: 80, DstPort: port,
-				Proto: plotters.TCP, Bytes: uint32(2000 + rng.Intn(20000)), ACK: true})
+			if rng.Intn(12) != 0 {
+				add(plotters.Packet{Time: at.Add(20 * time.Millisecond), Src: server, Dst: client, SrcPort: 80, DstPort: port,
+					Proto: plotters.TCP, Bytes: 60, SYN: true, ACK: true})
+				add(plotters.Packet{Time: at.Add(40 * time.Millisecond), Src: client, Dst: server, SrcPort: port, DstPort: 80,
+					Proto: plotters.TCP, Bytes: uint32(400 + rng.Intn(800)), ACK: true, Payload: []byte("GET /")})
+				add(plotters.Packet{Time: at.Add(90 * time.Millisecond), Src: server, Dst: client, SrcPort: 80, DstPort: port,
+					Proto: plotters.TCP, Bytes: uint32(2000 + rng.Intn(20000)), ACK: true})
+			}
 			at = at.Add(time.Duration(float64(time.Second) * (2 + rng.ExpFloat64()*20)))
 		}
 	}
@@ -175,17 +204,4 @@ func sortPackets(pkts []plotters.Packet) {
 			pkts[j], pkts[j-1] = pkts[j-1], pkts[j]
 		}
 	}
-}
-
-func sortedHosts(feats map[plotters.IP]*plotters.HostFeatures) []plotters.IP {
-	hosts := make([]plotters.IP, 0, len(feats))
-	for h := range feats {
-		hosts = append(hosts, h)
-	}
-	for i := 1; i < len(hosts); i++ {
-		for j := i; j > 0 && hosts[j] < hosts[j-1]; j-- {
-			hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
-		}
-	}
-	return hosts
 }

@@ -175,32 +175,54 @@ func sortIPs(hosts []flow.IP) {
 	}
 }
 
-// Analysis holds the per-host features extracted from one detection
-// window, shared by all tests so the records are scanned once.
+// Analysis holds the per-host features of one detection window, shared
+// by all tests so the features are materialized once. It no longer
+// cares where the features came from: batch extraction over a record
+// slice, an incremental StreamExtractor, or the sharded store behind
+// the windowed engine all feed it through flow.FeatureSource.
 type Analysis struct {
-	cfg   Config
-	feats map[flow.IP]*flow.HostFeatures
+	cfg    Config
+	feats  map[flow.IP]*flow.HostFeatures
+	window flow.Window
 }
 
 // NewAnalysis extracts features for internal hosts from the window's
-// records. internal selects the monitored addresses (nil = every
-// initiator).
+// records and wraps them for detection — the batch FeatureSource path.
+// internal selects the monitored addresses (nil = every initiator).
 func NewAnalysis(records []flow.Record, internal func(flow.IP) bool, cfg Config) (*Analysis, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	t := cfg.Metrics.StartStage("pipeline/extract")
-	feats := flow.ExtractFeatures(records, flow.FeatureOptions{
+	src := flow.ExtractFeatureSet(records, flow.FeatureOptions{
 		Hosts:        internal,
 		NewPeerGrace: cfg.NewPeerGrace,
-	})
+	}, flow.Window{})
 	t.Stop()
 	cfg.Metrics.Counter("pipeline/records").Add(int64(len(records)))
-	return &Analysis{cfg: cfg, feats: feats}, nil
+	return NewAnalysisFromSource(src, cfg)
+}
+
+// NewAnalysisFromSource wraps already-accumulated features for
+// detection. The source's feature map is referenced, not copied; the
+// caller must not keep mutating it (seal or snapshot streaming stores
+// first).
+func NewAnalysisFromSource(src flow.FeatureSource, cfg Config) (*Analysis, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil feature source")
+	}
+	return &Analysis{cfg: cfg, feats: src.Features(), window: src.Window()}, nil
 }
 
 // Features exposes the extracted per-host features.
 func (a *Analysis) Features() map[flow.IP]*flow.HostFeatures { return a.feats }
+
+// Window returns the observation bounds the features cover (zero if
+// the source did not declare them).
+func (a *Analysis) Window() flow.Window { return a.window }
 
 // Hosts returns every analyzed host.
 func (a *Analysis) Hosts() HostSet {

@@ -57,7 +57,7 @@ func (a *Analysis) FindPlotters() (*Result, error) {
 	t = total.Child("vol")
 	vol, err := a.VolumeTest(red.Kept, a.cfg.VolPercentile)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: vol: %w", err)
 	}
 	t.Stop()
 	reg.Gauge("pipeline/hosts/vol").Set(int64(len(vol.Kept)))
@@ -65,7 +65,7 @@ func (a *Analysis) FindPlotters() (*Result, error) {
 	t = total.Child("churn")
 	churn, err := a.ChurnTest(red.Kept, a.cfg.ChurnPercentile)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: churn: %w", err)
 	}
 	t.Stop()
 	reg.Gauge("pipeline/hosts/churn").Set(int64(len(churn.Kept)))
@@ -75,7 +75,7 @@ func (a *Analysis) FindPlotters() (*Result, error) {
 	t = total.Child("hm")
 	hm, err := a.HMTest(union, a.cfg.HMPercentile)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: hm: %w", err)
 	}
 	t.Stop()
 	reg.Gauge("pipeline/hosts/suspects").Set(int64(len(hm.Kept)))

@@ -1,0 +1,353 @@
+// Package engine turns the batch FindPlotters pipeline into a
+// continuous windowed detector, the shape a production border
+// deployment needs: flow records stream in, per-host features
+// accumulate in a sharded store (internal/flow.ShardedExtractor), and
+// at every window boundary the engine seals the elapsed window, runs
+// the full detection pipeline (reduction → θ_vol → θ_churn → θ_hm) over
+// the sealed features, emits a per-window Result, and rotates state —
+// the trace never sits in memory, and feature accumulation never blocks
+// on detection of a sealed window's shard-sealed features.
+//
+// Windows are tumbling by default (the paper's per-day detection
+// windows, §V); setting Slide < Window turns them into overlapping
+// sliding windows built by merging Window/Slide sealed panes
+// (flow.MergePanes), trading memory for detection latency.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"plotters/internal/core"
+	"plotters/internal/flow"
+)
+
+// ErrLateRecord marks a record that arrived more than MaxSkew behind
+// the stream frontier and was dropped. Callers running over live feeds
+// typically count these and continue (errors.Is).
+var ErrLateRecord = errors.New("engine: record beyond MaxSkew behind the frontier")
+
+// Config shapes a WindowedDetector.
+type Config struct {
+	// Window is the detection window length (the paper uses 24-hour
+	// collection days; the synthesized corpus 6-hour collection
+	// windows). Required.
+	Window time.Duration
+	// Slide, when positive and less than Window, makes windows slide:
+	// a detection runs every Slide over the trailing Window of traffic.
+	// Window must be a whole multiple of Slide. Zero means tumbling
+	// windows (back to back, no overlap).
+	Slide time.Duration
+	// Origin aligns window boundaries: windows start at Origin + i*Slide
+	// (tumbling: Origin + i*Window). The zero value aligns the first
+	// window at the first record's start time.
+	Origin time.Time
+	// Shards is the feature store's shard count (≤ 0 = one per CPU).
+	Shards int
+	// MaxSkew is the reorder tolerance of the feed: records may arrive
+	// up to MaxSkew behind the latest start time seen (the slack a flow
+	// monitor's end-of-flow reporting needs). Window boundaries are
+	// sealed only once the frontier has advanced MaxSkew past them.
+	MaxSkew time.Duration
+	// CarryFirstSeen keeps each host's first-seen time across window
+	// rotations, so the θ_churn new-peer grace period stays anchored at
+	// the host's earliest observed activity — the behavior a batch
+	// extraction over the whole stream would have — instead of
+	// restarting every window. Off, every window is self-contained
+	// (the paper's independent per-day windows).
+	CarryFirstSeen bool
+	// Internal selects monitored initiator addresses (nil = all).
+	Internal func(flow.IP) bool
+	// Core tunes the per-window detection pipeline. Core.Metrics, when
+	// set, also instruments the engine ("engine/..." stages and
+	// window gauges) and the sharded store.
+	Core core.Config
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("engine: Window must be positive, got %v", c.Window)
+	}
+	if c.Slide < 0 {
+		return fmt.Errorf("engine: Slide must be non-negative, got %v", c.Slide)
+	}
+	if c.Slide > 0 {
+		if c.Slide > c.Window {
+			return fmt.Errorf("engine: Slide %v exceeds Window %v", c.Slide, c.Window)
+		}
+		if c.Window%c.Slide != 0 {
+			return fmt.Errorf("engine: Window %v is not a multiple of Slide %v", c.Window, c.Slide)
+		}
+	}
+	if c.MaxSkew < 0 {
+		return fmt.Errorf("engine: MaxSkew must be non-negative, got %v", c.MaxSkew)
+	}
+	return c.Core.Validate()
+}
+
+// Result is one sealed detection window's outcome.
+type Result struct {
+	// Window is the detection window the result covers (half-open).
+	Window flow.Window
+	// Index is the window's absolute slot number since the stream
+	// origin: Window.From == origin + Index*Slide (tumbling:
+	// Index*Window). Slots whose windows held no traffic emit nothing,
+	// so indices observed by the caller may skip.
+	Index int
+	// Hosts is the number of monitored hosts with features in the
+	// window.
+	Hosts int
+	// Records is the number of flow records attributed to those hosts.
+	Records int
+	// Detection is the full FindPlotters outcome over the window,
+	// every intermediate stage included.
+	Detection *core.Result
+}
+
+// WindowedDetector drives continuous detection over a record stream.
+// Not safe for concurrent use; feed it from one goroutine (the sharded
+// store underneath accepts concurrent Add, but window bookkeeping is
+// single-writer by design — one boundary decision per record).
+type WindowedDetector struct {
+	cfg     Config
+	emit    func(*Result) error
+	store   *flow.ShardedExtractor
+	paneDur time.Duration
+	k       int // panes per window (1 = tumbling)
+
+	started  bool
+	origin   time.Time
+	paneIdx  int       // index of the open pane since origin
+	frontier time.Time // latest start time seen (or AdvanceTo watermark)
+	recent   []*flow.Pane
+	emitted  int
+}
+
+// New creates a windowed detector. emit receives each sealed window's
+// result in order; a non-nil error from emit aborts the triggering Add,
+// AdvanceTo, or Flush call.
+func New(cfg Config, emit func(*Result) error) (*WindowedDetector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	paneDur := cfg.Window
+	k := 1
+	if cfg.Slide > 0 && cfg.Slide < cfg.Window {
+		paneDur = cfg.Slide
+		k = int(cfg.Window / cfg.Slide)
+	}
+	store := flow.NewShardedExtractorSkew(flow.FeatureOptions{
+		Hosts:        cfg.Internal,
+		NewPeerGrace: cfg.Core.NewPeerGrace,
+	}, cfg.Shards, cfg.MaxSkew).Metrics(cfg.Core.Metrics)
+	store.CarryFirstSeen(cfg.CarryFirstSeen)
+	d := &WindowedDetector{
+		cfg:     cfg,
+		emit:    emit,
+		store:   store,
+		paneDur: paneDur,
+		k:       k,
+	}
+	cfg.Core.Metrics.Gauge("engine/shards").Set(int64(store.Shards()))
+	return d, nil
+}
+
+// Store exposes the underlying sharded feature store (live features of
+// the open window — e.g. for a metrics endpoint between boundaries).
+func (d *WindowedDetector) Store() *flow.ShardedExtractor { return d.store }
+
+// Windows returns how many window results have been emitted.
+func (d *WindowedDetector) Windows() int { return d.emitted }
+
+func (d *WindowedDetector) paneStart() time.Time {
+	return d.origin.Add(time.Duration(d.paneIdx) * d.paneDur)
+}
+
+func (d *WindowedDetector) paneEnd() time.Time {
+	return d.origin.Add(time.Duration(d.paneIdx+1) * d.paneDur)
+}
+
+// Add folds one record into the open window, sealing and detecting any
+// windows the record's start time proves complete first. Records more
+// than MaxSkew behind the frontier are dropped with ErrLateRecord;
+// detection and emit errors abort the call.
+func (d *WindowedDetector) Add(r *flow.Record) error {
+	if !d.started {
+		d.origin = d.cfg.Origin
+		if d.origin.IsZero() {
+			d.origin = r.Start
+		}
+		d.started = true
+		d.frontier = r.Start
+		if r.Start.Before(d.origin) {
+			return fmt.Errorf("engine: record at %v precedes the window origin %v", r.Start, d.origin)
+		}
+		d.paneIdx = int(r.Start.Sub(d.origin) / d.paneDur)
+	}
+	if r.Start.After(d.frontier) {
+		d.frontier = r.Start
+	}
+	if err := d.advance(d.frontier.Add(-d.cfg.MaxSkew)); err != nil {
+		return err
+	}
+	if err := d.store.Add(r); err != nil {
+		d.cfg.Core.Metrics.Counter("engine/drops").Add(1)
+		return fmt.Errorf("%w: %v", ErrLateRecord, err)
+	}
+	d.cfg.Core.Metrics.Counter("engine/records").Add(1)
+	return nil
+}
+
+// AdvanceTo declares that no record with a start time before t will
+// arrive (stream punctuation: an idle-feed heartbeat, or the known end
+// of a batch of traffic), sealing and detecting every window that ends
+// at or before t. Unlike record-driven sealing it does not wait out
+// MaxSkew — the caller is asserting completeness.
+func (d *WindowedDetector) AdvanceTo(t time.Time) error {
+	if !d.started {
+		return nil
+	}
+	if t.After(d.frontier) {
+		d.frontier = t
+	}
+	return d.advance(t)
+}
+
+// Flush seals the open partial window at the end of the feed, emitting
+// its result. The window keeps its nominal bounds; the feed simply
+// ended inside it.
+func (d *WindowedDetector) Flush() error {
+	if !d.started {
+		return nil
+	}
+	if err := d.advance(d.frontier); err != nil {
+		return err
+	}
+	if d.store.Hosts() == 0 && d.store.Pending() == 0 {
+		return nil
+	}
+	return d.sealPane()
+}
+
+// advance seals every pane whose end is at or before the watermark.
+func (d *WindowedDetector) advance(watermark time.Time) error {
+	for d.paneEnd().Compare(watermark) <= 0 {
+		if d.storeIdle() && d.ringEmpty() {
+			// Fast-forward a silent stretch: every skipped pane is empty
+			// and no trailing pane holds data, so no window in between
+			// could emit. Jump straight to the pane containing the
+			// watermark (a watermark exactly on a boundary lands the
+			// cursor on the pane opening there).
+			idx := int(watermark.Sub(d.origin) / d.paneDur)
+			if idx > d.paneIdx {
+				d.paneIdx = idx
+				d.recent = d.recent[:0]
+			}
+			if d.paneEnd().After(watermark) {
+				return nil
+			}
+		}
+		if err := d.sealPane(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *WindowedDetector) storeIdle() bool {
+	return d.store.Hosts() == 0 && d.store.Pending() == 0
+}
+
+func (d *WindowedDetector) ringEmpty() bool {
+	for _, p := range d.recent {
+		if p != nil && p.Hosts() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sealPane closes the open pane: flushes its buffered records, detaches
+// its feature state shard by shard, advances the pane cursor, and — if
+// the pane completes a detection window — merges, detects, and emits.
+func (d *WindowedDetector) sealPane() error {
+	reg := d.cfg.Core.Metrics
+	w := flow.Window{From: d.paneStart(), To: d.paneEnd()}
+	t := reg.StartStage("engine/seal")
+	d.store.ReleaseBefore(w.To)
+	pane := d.store.TakePane(w)
+	t.Stop()
+	reg.Counter("engine/panes").Add(1)
+	sealedIdx := d.paneIdx
+	d.paneIdx++
+
+	if d.k == 1 {
+		if pane.Hosts() == 0 {
+			reg.Counter("engine/windows/empty").Add(1)
+			return nil
+		}
+		return d.detect(pane.FeatureSet(), w, sealedIdx)
+	}
+
+	// Sliding: the sealed pane completes the window that started k-1
+	// panes earlier (once that many exist).
+	d.recent = append(d.recent, pane)
+	if len(d.recent) > d.k {
+		d.recent = d.recent[1:]
+	}
+	if sealedIdx < d.k-1 {
+		return nil
+	}
+	window := flow.Window{From: w.To.Add(-d.cfg.Window), To: w.To}
+	return d.emitMerged(window, sealedIdx-d.k+1)
+}
+
+// emitMerged merges the trailing panes into one window and detects.
+func (d *WindowedDetector) emitMerged(window flow.Window, index int) error {
+	reg := d.cfg.Core.Metrics
+	t := reg.StartStage("engine/merge")
+	merged := flow.MergePanes(d.cfg.Core.NewPeerGrace, d.recent...)
+	t.Stop()
+	if merged.Hosts() == 0 {
+		reg.Counter("engine/windows/empty").Add(1)
+		return nil
+	}
+	return d.detect(flow.NewFeatureSet(merged.Features(), window), window, index)
+}
+
+// detect runs FindPlotters over one sealed window and emits the result.
+func (d *WindowedDetector) detect(src *flow.FeatureSet, w flow.Window, index int) error {
+	reg := d.cfg.Core.Metrics
+	t := reg.StartStage("engine/detect")
+	analysis, err := core.NewAnalysisFromSource(src, d.cfg.Core)
+	if err != nil {
+		return fmt.Errorf("engine: window %d [%v, %v): %w", index, w.From, w.To, err)
+	}
+	res, err := analysis.FindPlotters()
+	t.Stop()
+	if err != nil {
+		return fmt.Errorf("engine: window %d [%v, %v): %w", index, w.From, w.To, err)
+	}
+	records := 0
+	for _, f := range src.Features() {
+		records += f.Flows
+	}
+	result := &Result{
+		Window:    w,
+		Index:     index,
+		Hosts:     src.Hosts(),
+		Records:   records,
+		Detection: res,
+	}
+	d.emitted++
+	reg.Counter("engine/windows").Add(1)
+	reg.Gauge("engine/window_index").Set(int64(index))
+	reg.Gauge("engine/window_hosts").Set(int64(result.Hosts))
+	reg.Gauge("engine/window_suspects").Set(int64(len(res.Suspects)))
+	if d.emit == nil {
+		return nil
+	}
+	return d.emit(result)
+}

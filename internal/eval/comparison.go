@@ -46,7 +46,7 @@ func (s *Suite) CompareBaselines() ([]DetectorOutcome, error) {
 		}
 		flagged := make(map[string]core.HostSet, len(names))
 
-		res, err := de.Analysis.FindPlotters()
+		res, err := de.Detect()
 		if err != nil {
 			return nil, err
 		}

@@ -40,27 +40,59 @@ type DayEval struct {
 	Traders core.HostSet
 	// BotFlows counts the in-window bot flows carried per bot host.
 	BotFlows map[flow.IP]int
+
+	// detection caches the default-configuration pipeline outcome; the
+	// suite's windowed engine pre-populates it at window seal.
+	detection *core.Result
+}
+
+// Detect returns the day's full pipeline outcome at the suite
+// configuration, computing and caching it on first use. Days built by
+// the windowed engine arrive with the result already attached, so the
+// figures that each used to re-run the pipeline now share one run.
+func (d *DayEval) Detect() (*core.Result, error) {
+	if d.detection != nil {
+		return d.detection, nil
+	}
+	res, err := d.Analysis.FindPlotters()
+	if err != nil {
+		return nil, err
+	}
+	d.detection = res
+	return res, nil
 }
 
 // Plotters returns all bot-carrying hosts.
 func (d *DayEval) Plotters() core.HostSet { return d.Storm.Union(d.Nugache) }
 
 // Overlay builds a DayEval: assign the traces' bots to random active
-// hosts, merge, extract features, and label Traders from payloads.
+// hosts, merge, extract features, and label Traders from payloads —
+// the standalone batch path (the suite's engine path shares the overlay
+// and ground-truth step and gets its features from the windowed store).
 func Overlay(day *scenario.Day, storm, nugache overlay.Trace, seed int64, cfg core.Config) (*DayEval, error) {
+	d, err := overlayDay(day, storm, nugache, seed)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := core.NewAnalysis(d.Records, synth.IsInternal, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: analyzing day: %w", err)
+	}
+	d.Analysis = analysis
+	return d, nil
+}
+
+// overlayDay builds the overlaid records and ground-truth labels of one
+// day, leaving feature extraction to the caller.
+func overlayDay(day *scenario.Day, storm, nugache overlay.Trace, seed int64) (*DayEval, error) {
 	rng := rand.New(rand.NewSource(seed))
 	ov, err := overlay.Overlay(rng, day.Records, day.Window, synth.IsInternal, storm, nugache)
 	if err != nil {
 		return nil, fmt.Errorf("eval: overlaying day: %w", err)
 	}
-	analysis, err := core.NewAnalysis(ov.Records, synth.IsInternal, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("eval: analyzing day: %w", err)
-	}
 	d := &DayEval{
 		Day:      day,
 		Records:  ov.Records,
-		Analysis: analysis,
 		Storm:    core.HostSet{},
 		Nugache:  core.HostSet{},
 		Traders:  core.HostSet{},

@@ -152,7 +152,7 @@ func (s *Suite) Figure9() (*Fig9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := de.Analysis.FindPlotters()
+		res, err := de.Detect()
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +218,7 @@ func (s *Suite) Figure10() (*Fig10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := de.Analysis.FindPlotters()
+		res, err := de.Detect()
 		if err != nil {
 			return nil, err
 		}
@@ -382,7 +382,7 @@ func (s *Suite) Figure12(delays []time.Duration, maxDays int) ([]Fig12Point, err
 			if err != nil {
 				return nil, err
 			}
-			res, err := de.Analysis.FindPlotters()
+			res, err := de.Detect()
 			if err != nil {
 				return nil, err
 			}

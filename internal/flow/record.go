@@ -143,6 +143,11 @@ type Window struct {
 	To   time.Time
 }
 
+// String renders the window in interval notation.
+func (w Window) String() string {
+	return fmt.Sprintf("[%s, %s)", w.From.Format(time.RFC3339), w.To.Format(time.RFC3339))
+}
+
 // Contains reports whether t falls inside the window.
 func (w Window) Contains(t time.Time) bool {
 	return !t.Before(w.From) && t.Before(w.To)

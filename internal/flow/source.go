@@ -1,0 +1,66 @@
+package flow
+
+// FeatureSource supplies one detection window's worth of per-host
+// features to the detection pipeline. It is the seam between feature
+// accumulation and detection: the batch extractor (ExtractFeatureSet),
+// the incremental StreamExtractor, and the sharded store behind
+// internal/engine's windowed detector all implement it, so
+// core.NewAnalysisFromSource can consume any of them without knowing how
+// the features were built.
+type FeatureSource interface {
+	// Features returns the per-host feature map. Implementations may
+	// return a live view; callers must not mutate it.
+	Features() map[IP]*HostFeatures
+	// Window returns the observation bounds the features cover. A zero
+	// Window means the bounds are unknown (e.g. a batch extraction whose
+	// caller never declared them).
+	Window() Window
+}
+
+// FeatureSet is the plain concrete FeatureSource: a feature map plus the
+// window it covers. It is what batch extraction and pane merging
+// produce.
+type FeatureSet struct {
+	feats  map[IP]*HostFeatures
+	window Window
+}
+
+// NewFeatureSet wraps an already-extracted feature map with its window
+// metadata.
+func NewFeatureSet(feats map[IP]*HostFeatures, window Window) *FeatureSet {
+	if feats == nil {
+		feats = map[IP]*HostFeatures{}
+	}
+	return &FeatureSet{feats: feats, window: window}
+}
+
+// Features returns the per-host feature map.
+func (fs *FeatureSet) Features() map[IP]*HostFeatures { return fs.feats }
+
+// Window returns the observation bounds.
+func (fs *FeatureSet) Window() Window { return fs.window }
+
+// Hosts returns the number of hosts with features.
+func (fs *FeatureSet) Hosts() int { return len(fs.feats) }
+
+// ExtractFeatureSet is the batch FeatureSource implementation: it scans
+// the records once (ExtractFeatures) and derives the window from the
+// records' start-time span when the caller passes a zero window (the
+// derived To is one nanosecond past the last start so the half-open
+// window contains every record).
+func ExtractFeatureSet(records []Record, opts FeatureOptions, window Window) *FeatureSet {
+	if window == (Window{}) && len(records) > 0 {
+		window.From = records[0].Start
+		last := records[0].Start
+		for i := range records {
+			if records[i].Start.Before(window.From) {
+				window.From = records[i].Start
+			}
+			if records[i].Start.After(last) {
+				last = records[i].Start
+			}
+		}
+		window.To = last.Add(1)
+	}
+	return NewFeatureSet(ExtractFeatures(records, opts), window)
+}

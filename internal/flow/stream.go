@@ -25,7 +25,9 @@ type StreamExtractor struct {
 	grace    time.Duration
 	maxSkew  time.Duration
 	builders map[IP]*featureBuilder
+	anchors  map[IP]time.Time // host -> carried first-seen (nil = off)
 	pending  recordHeap
+	first    time.Time // earliest start time seen
 	frontier time.Time // latest start time seen
 	released time.Time // start time up to which records were processed
 	count    int
@@ -86,6 +88,9 @@ func (se *StreamExtractor) Add(r *Record) error {
 	}
 	se.count++
 	se.recCtr.Add(1)
+	if se.count == 1 || r.Start.Before(se.first) {
+		se.first = r.Start
+	}
 	if r.Start.After(se.frontier) {
 		se.frontier = r.Start
 	}
@@ -115,14 +120,68 @@ func (se *StreamExtractor) Drain() {
 	se.release(se.frontier)
 }
 
+// ReleaseBefore force-processes every buffered record with a start time
+// strictly before t and then forbids records earlier than t: subsequent
+// Add calls with start < t are rejected as skew drops. This is the
+// window-sealing primitive — the engine calls it at a pane boundary once
+// the stream frontier proves no conforming record below t can still
+// arrive, so records at or past t stay buffered for the next pane.
+func (se *StreamExtractor) ReleaseBefore(t time.Time) {
+	for len(se.pending) > 0 && se.pending[0].rec.Start.Before(t) {
+		p := heap.Pop(&se.pending).(pendingRecord)
+		se.released = p.rec.Start
+		se.process(&p.rec)
+	}
+	if t.After(se.released) {
+		se.released = t
+	}
+}
+
+// CarryFirstSeen enables (or, with false, disables) first-seen carrying
+// across panes: when a host reappears after TakePane, its new builder's
+// grace period stays anchored at the host's earliest activity ever seen,
+// matching what a batch extraction over the whole stream would anchor —
+// instead of restarting the θ_churn warm-up every window.
+func (se *StreamExtractor) CarryFirstSeen(on bool) {
+	if on && se.anchors == nil {
+		se.anchors = make(map[IP]time.Time)
+	} else if !on {
+		se.anchors = nil
+	}
+}
+
+// TakePane detaches the accumulated builders as a sealed Pane covering w
+// and resets the extractor for the next pane. Buffered (pending) records
+// are untouched — call ReleaseBefore(w.To) first so everything belonging
+// to the pane has been processed. When first-seen carrying is enabled,
+// each detached host's earliest activity is remembered and re-anchors
+// the host's grace period in later panes.
+func (se *StreamExtractor) TakePane(w Window) *Pane {
+	builders := se.builders
+	se.builders = make(map[IP]*featureBuilder)
+	se.hostCtr.Set(0)
+	if se.anchors != nil {
+		for ip, b := range builders {
+			if cur, ok := se.anchors[ip]; !ok || b.feats.FirstSeen.Before(cur) {
+				se.anchors[ip] = b.feats.FirstSeen
+			}
+		}
+	}
+	return &Pane{builders: builders, window: w}
+}
+
 func (se *StreamExtractor) process(r *Record) {
 	if se.opts.Hosts != nil && !se.opts.Hosts(r.Src) {
 		return
 	}
 	b, ok := se.builders[r.Src]
 	if !ok {
+		first := r.Start
+		if anchor, ok := se.anchors[r.Src]; ok && anchor.Before(first) {
+			first = anchor
+		}
 		b = &featureBuilder{
-			feats:     &HostFeatures{Host: r.Src, FirstSeen: r.Start},
+			feats:     &HostFeatures{Host: r.Src, FirstSeen: first},
 			firstSeen: make(map[IP]time.Time),
 			lastStart: make(map[IP]time.Time),
 		}
@@ -152,6 +211,19 @@ func (se *StreamExtractor) Snapshot() map[IP]*HostFeatures {
 		out[ip] = b.feats
 	}
 	return out
+}
+
+// Features implements FeatureSource over the current state (a live
+// view, like Snapshot).
+func (se *StreamExtractor) Features() map[IP]*HostFeatures { return se.Snapshot() }
+
+// Window implements FeatureSource: the span of processed start times,
+// half-open past the frontier. Zero until a record has been processed.
+func (se *StreamExtractor) Window() Window {
+	if se.count == 0 {
+		return Window{}
+	}
+	return Window{From: se.first, To: se.frontier.Add(1)}
 }
 
 // pendingRecord is one buffered record; seq keeps ties in arrival order

@@ -39,6 +39,7 @@ import (
 	"plotters/internal/argus"
 	"plotters/internal/baseline"
 	"plotters/internal/core"
+	"plotters/internal/engine"
 	"plotters/internal/eval"
 	"plotters/internal/evasion"
 	"plotters/internal/flow"
@@ -376,6 +377,65 @@ func NewStreamExtractor(opts FeatureOptions) *StreamExtractor {
 // monitor's end-of-flow reporting introduces.
 func NewStreamExtractorSkew(opts FeatureOptions, maxSkew time.Duration) *StreamExtractor {
 	return flow.NewStreamExtractorSkew(opts, maxSkew)
+}
+
+// Feature sources decouple feature accumulation from detection: the
+// pipeline consumes a FeatureSource, not raw records, so batch
+// extraction, the incremental extractor, and the engine's sharded store
+// are interchangeable.
+type (
+	// FeatureSource supplies one detection window's per-host features.
+	FeatureSource = flow.FeatureSource
+	// FeatureSet is an immutable FeatureSource.
+	FeatureSet = flow.FeatureSet
+	// ShardedExtractor accumulates features sharded by source address
+	// across independently locked sub-extractors, for concurrent ingest.
+	ShardedExtractor = flow.ShardedExtractor
+)
+
+// ExtractFeatureSet batch-extracts one window's features as a
+// FeatureSource. A zero window derives the bounds from the records.
+func ExtractFeatureSet(records []Record, opts FeatureOptions, window Window) *FeatureSet {
+	return flow.ExtractFeatureSet(records, opts, window)
+}
+
+// NewAnalysisFromSource wraps already-accumulated features for
+// detection, skipping extraction.
+func NewAnalysisFromSource(src FeatureSource, cfg Config) (*Analysis, error) {
+	return core.NewAnalysisFromSource(src, cfg)
+}
+
+// NewShardedExtractor creates a sharded feature store (shards ≤ 0 means
+// one per CPU) requiring start-ordered input per shard.
+func NewShardedExtractor(opts FeatureOptions, shards int) *ShardedExtractor {
+	return flow.NewShardedExtractor(opts, shards)
+}
+
+// NewShardedExtractorSkew creates a sharded feature store tolerating
+// records up to maxSkew out of start order.
+func NewShardedExtractorSkew(opts FeatureOptions, shards int, maxSkew time.Duration) *ShardedExtractor {
+	return flow.NewShardedExtractorSkew(opts, shards, maxSkew)
+}
+
+// Continuous windowed detection: records stream into a sharded feature
+// store and the full pipeline runs at every window boundary.
+type (
+	// EngineConfig shapes a WindowedDetector.
+	EngineConfig = engine.Config
+	// WindowedDetector drives continuous detection over a record stream.
+	WindowedDetector = engine.WindowedDetector
+	// WindowResult is one sealed detection window's outcome.
+	WindowResult = engine.Result
+)
+
+// ErrLateRecord marks a streamed record dropped for arriving more than
+// EngineConfig.MaxSkew behind the stream frontier.
+var ErrLateRecord = engine.ErrLateRecord
+
+// NewWindowedDetector creates a continuous detector; emit receives each
+// sealed window's result in order.
+func NewWindowedDetector(cfg EngineConfig, emit func(*WindowResult) error) (*WindowedDetector, error) {
+	return engine.New(cfg, emit)
 }
 
 // Streaming trace I/O: Next()/Write() interfaces over all three formats,

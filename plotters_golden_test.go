@@ -98,33 +98,9 @@ func resultToGolden(de *plotters.DayEval, res *plotters.Result) goldenResult {
 	}
 }
 
-func TestFindPlottersGolden(t *testing.T) {
-	if testing.Short() {
-		t.Skip("corpus synthesis takes ~15s; skipped in -short mode")
-	}
-	ds := goldenDataset(t)
-	day := goldenDay(t, ds, plotters.DefaultConfig())
-	res, err := day.Analysis.FindPlotters()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := resultToGolden(day, res)
-
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		raw, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("golden file rewritten: %s", goldenPath)
-		return
-	}
-
+// loadGolden reads the pinned pipeline outcome.
+func loadGolden(t *testing.T) goldenResult {
+	t.Helper()
 	raw, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("%v (run with -update to create it)", err)
@@ -133,10 +109,15 @@ func TestFindPlottersGolden(t *testing.T) {
 	if err := json.Unmarshal(raw, &want); err != nil {
 		t.Fatal(err)
 	}
+	return want
+}
 
-	// Thresholds are float64 percentiles; compare to a tolerance so the
-	// golden file's decimal rendering cannot cause spurious failures.
-	// Everything else must match exactly.
+// compareGolden checks a pipeline outcome against the pinned one.
+// Thresholds are float64 percentiles; compare to a tolerance so the
+// golden file's decimal rendering cannot cause spurious failures.
+// Everything else must match exactly.
+func compareGolden(t *testing.T, got, want goldenResult) {
+	t.Helper()
 	const tol = 1e-9
 	for _, cmp := range []struct {
 		name string
@@ -166,6 +147,37 @@ func TestFindPlottersGolden(t *testing.T) {
 	if !reflect.DeepEqual(got.Suspects, want.Suspects) {
 		t.Errorf("suspect set changed:\ngot  %v\nwant %v", got.Suspects, want.Suspects)
 	}
+}
+
+func TestFindPlottersGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis takes ~15s; skipped in -short mode")
+	}
+	ds := goldenDataset(t)
+	day := goldenDay(t, ds, plotters.DefaultConfig())
+	res, err := day.Analysis.FindPlotters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultToGolden(day, res)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", goldenPath)
+		return
+	}
+
+	want := loadGolden(t)
+	compareGolden(t, got, want)
 
 	// An instrumented run must be behaviorally identical, and its
 	// stage gauges must agree with the pinned survivor counts.

@@ -1,0 +1,137 @@
+// Equivalence tests for the continuous windowed engine: a detection
+// window streamed through WindowedDetector must be indistinguishable
+// from a batch FindPlotters run over the same records — the golden
+// regression file pins the batch outcome, so the engine must reproduce
+// it bit for bit.
+package plotters_test
+
+import (
+	"reflect"
+	"testing"
+
+	"plotters"
+)
+
+// One window of the canonical seed-42 corpus through the windowed
+// engine reproduces testdata/findplotters_golden.json exactly:
+// suspects, survivor counts, and thresholds.
+func TestWindowedDetectorMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis takes ~15s; skipped in -short mode")
+	}
+	ds := goldenDataset(t)
+	cfg := plotters.DefaultConfig()
+	// Overlay day 0 exactly as the evaluation suite does (suite seed 43,
+	// day offset 0).
+	day, err := plotters.OverlayDay(ds.Days[0], ds, 43, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ds.Days[0].Window
+
+	var results []*plotters.WindowResult
+	eng, err := plotters.NewWindowedDetector(plotters.EngineConfig{
+		Window:   w.Duration(),
+		Origin:   w.From,
+		Internal: plotters.IsInternal,
+		Core:     cfg,
+	}, func(r *plotters.WindowResult) error { results = append(results, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range day.Records {
+		if err := eng.Add(&day.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.AdvanceTo(w.To); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d windows, want 1", len(results))
+	}
+	res := results[0]
+	if res.Window != w {
+		t.Errorf("window bounds = %v, want %v", res.Window, w)
+	}
+	internalRecords := 0
+	for i := range day.Records {
+		if plotters.IsInternal(day.Records[i].Src) {
+			internalRecords++
+		}
+	}
+	if res.Records != internalRecords {
+		t.Errorf("window records = %d, want %d (internally initiated)", res.Records, internalRecords)
+	}
+
+	compareGolden(t, resultToGolden(day, res.Detection), loadGolden(t))
+
+	// The engine window's features must equal the batch extraction
+	// day.Analysis performed — same maps, bit for bit.
+	if !reflect.DeepEqual(res.Detection.Analysis.Features(), day.Analysis.Features()) {
+		t.Error("windowed features differ from batch extraction")
+	}
+}
+
+// Over a multi-day corpus, the engine-backed suite must produce the
+// same per-day suspect sets as independent per-day batch runs — the
+// cmd/experiments equivalence: days stream through one engine, features
+// are never re-extracted, and nothing about the outcome moves.
+func TestSuiteEngineMatchesPerDayBatch(t *testing.T) {
+	// Scale the corpus down: the equivalence needs days, not scale.
+	cfg := plotters.DefaultDatasetConfig(42)
+	cfg.Days = 3
+	cfg.DayTemplate.CampusHosts = 100
+	cfg.DayTemplate.Gnutella = 3
+	cfg.DayTemplate.EMule = 3
+	cfg.DayTemplate.BitTorrent = 4
+	cfg.DayTemplate.PeerNetworkNodes = 800
+	cfg.Storm.Bots = 6
+	cfg.Storm.OverlayNodes = 500
+	cfg.Storm.SeedPeers = 50
+	cfg.Nugache.Bots = 15
+	cfg.Nugache.OverlayNodes = 400
+	ds, err := plotters.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := plotters.DefaultConfig()
+	pipe.MinInterstitialSamples = 20
+
+	suite, err := plotters.NewSuite(ds, pipe, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < suite.Days(); i++ {
+		de, err := suite.Day(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engRes, err := de.Detect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Independent batch run over the same overlaid day (same seed
+		// derivation as the suite).
+		batchDay, err := plotters.OverlayDay(ds.Days[i], ds, 7+int64(i)*104729, pipe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchRes, err := batchDay.Analysis.FindPlotters()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(engRes.Suspects, batchRes.Suspects) {
+			t.Errorf("day %d: suspects differ:\nengine %v\nbatch  %v",
+				i, engRes.Suspects.Sorted(), batchRes.Suspects.Sorted())
+		}
+		if !reflect.DeepEqual(engRes.Reduction.Kept, batchRes.Reduction.Kept) ||
+			!reflect.DeepEqual(engRes.Volume.Kept, batchRes.Volume.Kept) ||
+			!reflect.DeepEqual(engRes.Churn.Kept, batchRes.Churn.Kept) {
+			t.Errorf("day %d: intermediate stages differ", i)
+		}
+		if !reflect.DeepEqual(de.Analysis.Features(), batchDay.Analysis.Features()) {
+			t.Errorf("day %d: features differ from batch extraction", i)
+		}
+	}
+}
