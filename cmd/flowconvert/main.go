@@ -1,10 +1,18 @@
-// Command flowconvert converts a flow trace between the binary, CSV, and
-// JSON Lines formats, streaming record by record so traces larger than
-// memory convert fine.
+// Command flowconvert converts a flow trace between the binary, CSV,
+// JSON Lines, and NetFlow v5 packet-stream formats, streaming record by
+// record so traces larger than memory convert fine.
+//
+// The netflow format is the wire format real exporters emit: a
+// concatenation of valid v5 export packets (≤30 records each), readable
+// back here and replayable over UDP with flowreplay. It is lossy —
+// timestamps floor to the millisecond, responder-side packet/byte
+// counters and payload bytes are dropped — but carries everything the
+// detection pipeline reads.
 //
 // Usage:
 //
 //	flowconvert -from binary -to csv IN OUT
+//	flowconvert -from binary -to netflow day-0.flows day-0.nf5
 package main
 
 import (
@@ -24,8 +32,8 @@ func main() {
 
 func run() error {
 	var (
-		from = flag.String("from", "binary", "input format: binary, csv, or jsonl")
-		to   = flag.String("to", "csv", "output format: binary, csv, or jsonl")
+		from = flag.String("from", "binary", "input format: binary, csv, jsonl, or netflow")
+		to   = flag.String("to", "csv", "output format: binary, csv, jsonl, or netflow")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {

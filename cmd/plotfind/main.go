@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	plotfind [-format binary|csv|jsonl] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
+//	plotfind [-format binary|csv|jsonl|netflow] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
 //	plotfind -window 6h [-slide 1h] [-shards N] [-skew 5m] ... TRACE
+//	plotfind -listen :2055 -window 6h [-skew 5m] ...
 //
 // With -window, the trace streams through the continuous windowed
 // detection engine instead of one batch run: records feed a sharded
@@ -15,21 +16,34 @@
 // -shards sizes the feature store, and -skew sets the reorder tolerance
 // for out-of-order feeds.
 //
+// With -listen, there is no trace file at all: plotfind binds a UDP
+// socket, decodes NetFlow v5/v9 export packets from live exporters, and
+// feeds them straight into the windowed engine (-window is required).
+// Records beyond the -skew tolerance are counted and dropped, never
+// fatal — a live socket cannot re-request the past. Stop with Ctrl-C
+// (SIGINT/SIGTERM): the collector drains its queue, the final partial
+// window is flushed, and the summary (plus the -metrics report, if
+// requested) is written on the way out.
+//
 // With -metrics, a JSON run report is written to FILE: trace metadata,
 // total elapsed time, and a full metrics snapshot with every pipeline
 // stage's duration and survivor count (see the README's Observability
-// section).
+// section). In -listen mode the snapshot includes the collector's
+// packet, drop, and sequence-gap counters.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"plotters"
@@ -44,7 +58,7 @@ func main() {
 
 func run() error {
 	var (
-		format    = flag.String("format", "binary", "trace format: binary, csv, or jsonl")
+		format    = flag.String("format", "binary", "trace format: binary, csv, jsonl, or netflow")
 		internals = flag.String("internal", "128.2.0.0/16,128.237.0.0/16", "comma-separated internal CIDR prefixes")
 		verbose   = flag.Bool("v", false, "print per-stage host sets")
 		volPct    = flag.Float64("vol-pct", 0, "override τ_vol percentile (0 = default)")
@@ -56,9 +70,18 @@ func run() error {
 		slide     = flag.Duration("slide", 0, "sliding-window step (0 = tumbling windows; requires -window, must divide it)")
 		shards    = flag.Int("shards", 0, "feature-store shard count for -window mode (0 = one per CPU)")
 		skew      = flag.Duration("skew", 0, "out-of-order tolerance for -window mode (records later than this are dropped)")
+		listen    = flag.String("listen", "", "UDP address to collect live NetFlow exports on (e.g. :2055) instead of reading a trace; requires -window")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *listen != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			return fmt.Errorf("-listen takes no trace file argument")
+		}
+		if *window <= 0 {
+			return fmt.Errorf("-listen requires -window (live detection is windowed)")
+		}
+	} else if flag.NArg() != 1 {
 		flag.Usage()
 		return fmt.Errorf("expected exactly one trace file argument")
 	}
@@ -87,19 +110,28 @@ func run() error {
 	cfg.Parallelism = *parallel
 
 	if *window > 0 {
-		n, err := runWindowed(flag.Arg(0), *format, reg, plotters.EngineConfig{
+		engCfg := plotters.EngineConfig{
 			Window:   *window,
 			Slide:    *slide,
 			Shards:   *shards,
 			MaxSkew:  *skew,
 			Internal: internal,
 			Core:     cfg,
-		}, *verbose)
+		}
+		var n int
+		var source, srcFormat string
+		if *listen != "" {
+			source, srcFormat = *listen, "netflow-udp"
+			n, err = runListen(*listen, reg, engCfg, *verbose)
+		} else {
+			source, srcFormat = flag.Arg(0), *format
+			n, err = runWindowed(source, srcFormat, reg, engCfg, *verbose)
+		}
 		if err != nil {
 			return err
 		}
 		if reg != nil {
-			if err := writeReport(*metricsTo, flag.Arg(0), *format, n, time.Since(started), reg); err != nil {
+			if err := writeReport(*metricsTo, source, srcFormat, n, time.Since(started), reg); err != nil {
 				return err
 			}
 			fmt.Printf("\nrun report written to %s\n", *metricsTo)
@@ -187,21 +219,7 @@ func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.Engine
 	}
 	tr = plotters.MeterTraceReader(tr, reg)
 
-	eng, err := plotters.NewWindowedDetector(cfg, func(res *plotters.WindowResult) error {
-		det := res.Detection
-		fmt.Printf("window %d %s: hosts=%d records=%d reduction=%d vol=%d churn=%d suspects=%d\n",
-			res.Index, res.Window, res.Hosts, res.Records,
-			len(det.Reduction.Kept), len(det.Volume.Kept), len(det.Churn.Kept), len(det.Suspects))
-		if verbose {
-			feats := det.Analysis.Features()
-			for _, h := range det.Suspects.Sorted() {
-				hf := feats[h]
-				fmt.Printf("  %-16s flows=%-6d avgBytes/flow=%-9.1f failedRate=%.2f newIPFraction=%.2f\n",
-					h, hf.Flows, hf.AvgBytesPerFlow(), hf.FailedRate(), hf.NewPeerFraction())
-			}
-		}
-		return nil
-	})
+	eng, err := plotters.NewWindowedDetector(cfg, windowPrinter(verbose))
 	if err != nil {
 		return 0, err
 	}
@@ -230,6 +248,88 @@ func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.Engine
 	fmt.Printf("\n%d records, %d windows detected", n, eng.Windows())
 	if dropped > 0 {
 		fmt.Printf(", %d records dropped beyond the %v skew tolerance", dropped, cfg.MaxSkew)
+	}
+	fmt.Println()
+	return n, nil
+}
+
+// windowPrinter builds the per-window emit callback shared by the file
+// and live ingest paths.
+func windowPrinter(verbose bool) func(*plotters.WindowResult) error {
+	return func(res *plotters.WindowResult) error {
+		det := res.Detection
+		fmt.Printf("window %d %s: hosts=%d records=%d reduction=%d vol=%d churn=%d suspects=%d\n",
+			res.Index, res.Window, res.Hosts, res.Records,
+			len(det.Reduction.Kept), len(det.Volume.Kept), len(det.Churn.Kept), len(det.Suspects))
+		if verbose {
+			feats := det.Analysis.Features()
+			for _, h := range det.Suspects.Sorted() {
+				hf := feats[h]
+				fmt.Printf("  %-16s flows=%-6d avgBytes/flow=%-9.1f failedRate=%.2f newIPFraction=%.2f\n",
+					h, hf.Flows, hf.AvgBytesPerFlow(), hf.FailedRate(), hf.NewPeerFraction())
+			}
+		}
+		return nil
+	}
+}
+
+// runListen binds a UDP socket and feeds live NetFlow exports into the
+// windowed engine until SIGINT/SIGTERM, then drains, flushes the final
+// window, and returns the record count. Late records are dropped and
+// counted rather than treated as fatal — a live socket cannot replay
+// the past — and decode runs on a single worker so records reach the
+// engine in arrival order.
+func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, verbose bool) (int, error) {
+	cfg.DropLate = true
+	eng, err := plotters.NewWindowedDetector(cfg, windowPrinter(verbose))
+	if err != nil {
+		return 0, err
+	}
+
+	// n and ingestErr are written only by the collector's single worker
+	// and read after Run returns, once every worker has exited.
+	n := 0
+	var ingestErr error
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	col, err := plotters.ListenNetFlow(plotters.CollectorConfig{
+		Addr:    addr,
+		Workers: 1,
+		Metrics: reg,
+		Handler: func(records []plotters.Record) {
+			if ingestErr != nil {
+				return
+			}
+			for i := range records {
+				n++
+				if err := eng.Add(&records[i]); err != nil {
+					// DropLate absorbs skew; anything left is a real
+					// detection or emit failure — stop collecting.
+					ingestErr = err
+					stop()
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(os.Stderr, "listening for NetFlow v5/v9 on %s (Ctrl-C to stop)\n", col.Addr())
+
+	if err := col.Run(ctx); err != nil {
+		return n, err
+	}
+	if ingestErr != nil {
+		return n, ingestErr
+	}
+	if err := eng.Flush(); err != nil {
+		return n, err
+	}
+	fmt.Printf("\n%d records collected, %d windows detected", n, eng.Windows())
+	if d := eng.Dropped(); d > 0 {
+		fmt.Printf(", %d records dropped beyond the %v skew tolerance", d, cfg.MaxSkew)
 	}
 	fmt.Println()
 	return n, nil

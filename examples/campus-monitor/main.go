@@ -3,12 +3,24 @@
 // paper's administrator would deploy it: thresholds recomputed from each
 // day's traffic, suspects accumulated across days, and persistent
 // offenders (hosts flagged on several days) escalated.
+//
+// With -listen the same monitor goes live: instead of synthesizing a
+// dataset it binds a UDP socket, ingests NetFlow exports from real (or
+// flowreplay'd) exporters into the windowed engine, and escalates hosts
+// flagged across successive detection windows. Stop with Ctrl-C to get
+// the repeat-offender summary.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
+	"time"
 
 	"plotters"
 )
@@ -23,6 +35,20 @@ func main() {
 }
 
 func run() error {
+	var (
+		listen    = flag.String("listen", "", "monitor live NetFlow exports on this UDP address (e.g. :2055) instead of a synthetic dataset")
+		window    = flag.Duration("window", 6*time.Hour, "detection window length for -listen mode")
+		skew      = flag.Duration("skew", 5*time.Minute, "out-of-order tolerance for -listen mode")
+		internals = flag.String("internal", "128.2.0.0/16,128.237.0.0/16", "comma-separated internal CIDR prefixes for -listen mode")
+	)
+	flag.Parse()
+	if *listen != "" {
+		return runLive(*listen, *window, *skew, *internals)
+	}
+	return runSynthetic()
+}
+
+func runSynthetic() error {
 	cfg := plotters.DefaultDatasetConfig(1234)
 	cfg.Days = days
 	cfg.DayTemplate.CampusHosts = 220
@@ -79,17 +105,82 @@ func run() error {
 		}
 	}
 
-	// Escalate repeat offenders. Because bots are re-assigned to random
-	// hosts each day, repeat flags on the same host indicate a stable
-	// behavioral false positive — exactly what an operator would review
-	// and whitelist.
-	fmt.Printf("\n=== summary after %d days ===\n", days)
+	printOffenders(flaggedDays, hostTruth, days, "days")
+	return nil
+}
+
+// runLive is the deployed shape of the same monitor: NetFlow exports
+// arrive over UDP, each sealed window runs the full pipeline, and
+// repeat offenders accumulate across windows instead of days. There is
+// no ground truth on a live network — the repeat count is what the
+// operator triages.
+func runLive(addr string, window, skew time.Duration, internals string) error {
+	internal, err := parseSubnets(internals)
+	if err != nil {
+		return err
+	}
+	flaggedWindows := make(map[plotters.IP]int)
+	windows := 0
+	eng, err := plotters.NewWindowedDetector(plotters.EngineConfig{
+		Window:   window,
+		MaxSkew:  skew,
+		Internal: internal,
+		DropLate: true, // live sockets cannot replay the past
+		Core:     plotters.DefaultConfig(),
+	}, func(res *plotters.WindowResult) error {
+		windows++
+		fmt.Printf("window %d %s: %d hosts, %d suspects\n",
+			res.Index, res.Window, res.Hosts, len(res.Detection.Suspects))
+		for host := range res.Detection.Suspects {
+			flaggedWindows[host]++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	col, err := plotters.ListenNetFlow(plotters.CollectorConfig{
+		Addr:    addr,
+		Workers: 1, // preserve arrival order into the engine
+		Handler: func(records []plotters.Record) {
+			for i := range records {
+				_ = eng.Add(&records[i]) // DropLate: skew drops are counted, not fatal
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("monitoring NetFlow exports on %s (Ctrl-C for the summary)\n", col.Addr())
+	if err := col.Run(ctx); err != nil {
+		return err
+	}
+	if err := eng.Flush(); err != nil {
+		return err
+	}
+	if d := eng.Dropped(); d > 0 {
+		fmt.Printf("%d records arrived beyond the %v skew tolerance and were dropped\n", d, skew)
+	}
+	printOffenders(flaggedWindows, nil, max(windows, 1), "windows")
+	return nil
+}
+
+// printOffenders escalates repeat offenders. Because bots are
+// re-assigned to random hosts each day, repeat flags on the same host
+// indicate a stable behavioral false positive — exactly what an
+// operator would review and whitelist. truth may be nil (live mode has
+// no ground truth).
+func printOffenders(flagged map[plotters.IP]int, truth map[plotters.IP]string, periods int, unit string) {
+	fmt.Printf("\n=== summary after %d %s ===\n", periods, unit)
 	type offender struct {
 		host  plotters.IP
 		count int
 	}
 	var offenders []offender
-	for host, n := range flaggedDays {
+	for host, n := range flagged {
 		offenders = append(offenders, offender{host, n})
 	}
 	sort.Slice(offenders, func(a, b int) bool {
@@ -105,8 +196,37 @@ func run() error {
 			fmt.Printf("  ... and %d more\n", len(offenders)-shown)
 			break
 		}
-		fmt.Printf("  %-16s flagged on %d/%d days (%s)\n", o.host, o.count, days, hostTruth[o.host])
+		label := ""
+		if truth != nil {
+			label = fmt.Sprintf(" (%s)", truth[o.host])
+		}
+		fmt.Printf("  %-16s flagged on %d/%d %s%s\n", o.host, o.count, periods, unit, label)
 		shown++
 	}
-	return nil
+}
+
+func parseSubnets(csv string) (func(plotters.IP) bool, error) {
+	var subnets []plotters.Subnet
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		sn, err := plotters.ParseSubnet(s)
+		if err != nil {
+			return nil, err
+		}
+		subnets = append(subnets, sn)
+	}
+	if len(subnets) == 0 {
+		return nil, fmt.Errorf("no internal subnets given")
+	}
+	return func(ip plotters.IP) bool {
+		for _, sn := range subnets {
+			if sn.Contains(ip) {
+				return true
+			}
+		}
+		return false
+	}, nil
 }

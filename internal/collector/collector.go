@@ -1,0 +1,394 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	"plotters/internal/flow"
+	"plotters/internal/metrics"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultQueueSize bounds the packet queue between the socket
+	// reader and the decode workers.
+	DefaultQueueSize = 4096
+	// DefaultMaxPacketSize is the largest datagram accepted. NetFlow
+	// v5 packets are ≤1464 bytes; 9216 leaves headroom for
+	// jumbo-framed v9 exports.
+	DefaultMaxPacketSize = 9216
+)
+
+// Config shapes a Collector.
+type Config struct {
+	// Addr is the UDP listen address, e.g. ":2055" (the conventional
+	// NetFlow port) or "127.0.0.1:0" (tests). Required.
+	Addr string
+	// Workers sizes the decode pool (≤0: one per CPU). Callers running
+	// a windowed detector usually pass core.Config.Parallelism. With
+	// more than one worker, packets may be decoded — and their records
+	// delivered — slightly out of arrival order; size the engine's
+	// MaxSkew accordingly, or use one worker for strict ordering.
+	Workers int
+	// QueueSize bounds the ingest queue (≤0: DefaultQueueSize). When
+	// the queue is full, packets are counted as dropped and discarded —
+	// the socket reader never blocks, so kernel-side loss stays
+	// visible in the exporter sequence numbers instead of compounding.
+	QueueSize int
+	// MaxPacketSize is the receive buffer per datagram (≤0: default).
+	// Longer datagrams are truncated by the kernel and will count as
+	// malformed.
+	MaxPacketSize int
+	// ReadBuffer, when positive, requests this socket receive buffer
+	// size (SO_RCVBUF) — the slack that absorbs packet bursts during a
+	// window-boundary detection. Best effort; the kernel may clamp it.
+	ReadBuffer int
+	// Handler receives each decoded packet's records. Calls are
+	// serialized (never concurrent), so a single-writer consumer like
+	// engine.WindowedDetector needs no locking of its own. The slice
+	// and the records are reused after the call returns — copy
+	// anything retained. Required.
+	Handler func(records []flow.Record)
+	// Metrics, when non-nil, receives the collector's full instrument
+	// set under "collector/...". Nil disables instrumentation at zero
+	// cost.
+	Metrics *metrics.Registry
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Addr == "" {
+		return fmt.Errorf("collector: Addr is required")
+	}
+	if c.Handler == nil {
+		return fmt.Errorf("collector: Handler is required")
+	}
+	return nil
+}
+
+// exporterKey identifies one exporter stream for sequence accounting.
+type exporterKey struct {
+	addr   string
+	engine uint16 // v5 engine_type<<8|engine_id, or v9 source ID (low 16)
+}
+
+// exporterState tracks per-exporter sequence expectations.
+type exporterState struct {
+	v5Seen bool
+	v5Next uint32 // expected flow_sequence of the next v5 packet
+	v9Seen bool
+	v9Next uint32 // expected package sequence of the next v9 packet
+}
+
+// packetBuf is one queued datagram. Buffers cycle through a pool; data
+// is the receive buffer truncated to the datagram length.
+type packetBuf struct {
+	data     []byte
+	exporter string
+}
+
+// Collector ingests NetFlow export packets from a UDP socket: a reader
+// goroutine enqueues datagrams onto a bounded queue, a worker pool
+// decodes them (v5 and v9), and decoded records are handed to the
+// configured Handler in serialized calls. Create with Listen, drive
+// with Run.
+type Collector struct {
+	cfg       Config
+	conn      net.PacketConn
+	queue     chan *packetBuf
+	pool      sync.Pool
+	templates *TemplateCache
+
+	closeMu sync.RWMutex // guards closed + close(queue) vs. ingest sends
+	closed  bool
+
+	emitMu sync.Mutex // serializes Handler calls
+
+	expMu     sync.Mutex
+	exporters map[exporterKey]*exporterState
+
+	// Instruments, cached at Listen so the hot path never takes the
+	// registry lock. All are nil-safe no-ops without a registry.
+	mPackets, mBytes, mRecords        *metrics.Counter
+	mMalformed, mUnknownVer, mDropped *metrics.Counter
+	mGaps, mLostFlows, mLostPackets   *metrics.Counter
+	mResets, mTemplates, mMissingTmpl *metrics.Counter
+	mReadErrors                       *metrics.Counter
+	gQueueHW, gExporters              *metrics.Gauge
+}
+
+// Listen binds the UDP socket and prepares the collector. No packets
+// are consumed until Run.
+func Listen(cfg Config) (*Collector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.MaxPacketSize <= 0 {
+		cfg.MaxPacketSize = DefaultMaxPacketSize
+	}
+	conn, err := net.ListenPacket("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	if cfg.ReadBuffer > 0 {
+		if uc, ok := conn.(*net.UDPConn); ok {
+			// Best effort: a clamped buffer still works, just drops
+			// earlier under burst.
+			_ = uc.SetReadBuffer(cfg.ReadBuffer)
+		}
+	}
+	reg := cfg.Metrics
+	c := &Collector{
+		cfg:       cfg,
+		conn:      conn,
+		queue:     make(chan *packetBuf, cfg.QueueSize),
+		templates: NewTemplateCache(),
+		exporters: make(map[exporterKey]*exporterState),
+
+		mPackets:     reg.Counter("collector/packets"),
+		mBytes:       reg.Counter("collector/bytes"),
+		mRecords:     reg.Counter("collector/records"),
+		mMalformed:   reg.Counter("collector/packets/malformed"),
+		mUnknownVer:  reg.Counter("collector/packets/unknown_version"),
+		mDropped:     reg.Counter("collector/packets/dropped"),
+		mGaps:        reg.Counter("collector/seq/gaps"),
+		mLostFlows:   reg.Counter("collector/seq/lost_flows"),
+		mLostPackets: reg.Counter("collector/seq/lost_packets"),
+		mResets:      reg.Counter("collector/seq/resets"),
+		mTemplates:   reg.Counter("collector/v9/templates"),
+		mMissingTmpl: reg.Counter("collector/v9/missing_template"),
+		mReadErrors:  reg.Counter("collector/read_errors"),
+		gQueueHW:     reg.Gauge("collector/queue/high_water"),
+		gExporters:   reg.Gauge("collector/exporters"),
+	}
+	c.pool.New = func() any {
+		return &packetBuf{data: make([]byte, cfg.MaxPacketSize)}
+	}
+	return c, nil
+}
+
+// Addr returns the bound socket address (useful with ":0").
+func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+// Templates exposes the v9 template cache (e.g. for a status page).
+func (c *Collector) Templates() *TemplateCache { return c.templates }
+
+// Run pumps the socket until ctx is cancelled: the reader enqueues,
+// cfg.Workers decode, and the Handler receives records. On
+// cancellation the socket closes, queued packets drain through the
+// workers, and Run returns nil. A socket read failure other than
+// shutdown aborts with that error.
+func (c *Collector) Run(ctx context.Context) error {
+	var workers sync.WaitGroup
+	for i := 0; i < c.cfg.Workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			c.worker()
+		}()
+	}
+	stop := context.AfterFunc(ctx, func() { c.conn.Close() })
+	readErr := c.readLoop(ctx)
+	stop()
+	c.conn.Close()
+
+	// Stop accepting, then let the workers drain what's queued.
+	c.closeMu.Lock()
+	c.closed = true
+	close(c.queue)
+	c.closeMu.Unlock()
+	workers.Wait()
+
+	if readErr != nil && ctx.Err() == nil {
+		return readErr
+	}
+	return nil
+}
+
+// readLoop is the socket pump: read, stamp, enqueue. It does no
+// decoding — under load the only way to lose packets here is the
+// bounded queue's explicit drop, never a stalled reader.
+func (c *Collector) readLoop(ctx context.Context) error {
+	for {
+		pb := c.pool.Get().(*packetBuf)
+		n, from, err := c.conn.ReadFrom(pb.data[:cap(pb.data)])
+		if err != nil {
+			c.pool.Put(pb)
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			c.mReadErrors.Add(1)
+			return fmt.Errorf("collector: reading socket: %w", err)
+		}
+		pb.data = pb.data[:n]
+		pb.exporter = from.String()
+		c.ingest(pb)
+	}
+}
+
+// Inject feeds one export packet as if it had arrived on the socket
+// from the named exporter — the datagram-free path used by tests,
+// benchmarks, and in-process replay. The data is copied; ingest
+// semantics (metrics, queue bounds, drops) are identical to the socket
+// path. Safe to call concurrently with Run; packets injected after Run
+// returns are counted as dropped.
+func (c *Collector) Inject(data []byte, exporter string) {
+	pb := c.pool.Get().(*packetBuf)
+	if cap(pb.data) < len(data) {
+		pb.data = make([]byte, len(data))
+	}
+	pb.data = pb.data[:cap(pb.data)][:len(data)]
+	copy(pb.data, data)
+	pb.exporter = exporter
+	c.ingest(pb)
+}
+
+// ingest enqueues one packet, dropping on overflow. Never blocks.
+func (c *Collector) ingest(pb *packetBuf) {
+	c.mPackets.Add(1)
+	c.mBytes.Add(int64(len(pb.data)))
+	c.closeMu.RLock()
+	if c.closed {
+		c.closeMu.RUnlock()
+		c.mDropped.Add(1)
+		c.pool.Put(pb)
+		return
+	}
+	select {
+	case c.queue <- pb:
+		c.gQueueHW.SetMax(int64(len(c.queue)))
+		c.closeMu.RUnlock()
+	default:
+		c.closeMu.RUnlock()
+		c.mDropped.Add(1)
+		c.pool.Put(pb)
+	}
+}
+
+// worker decodes queued packets until the queue closes and drains. The
+// record scratch slice is reused across packets; the Handler contract
+// (records valid only during the call) is what makes that safe.
+func (c *Collector) worker() {
+	var scratch []flow.Record
+	for pb := range c.queue {
+		scratch = c.process(pb, scratch[:0])
+	}
+}
+
+// process decodes one packet, accounts its sequence, and delivers its
+// records. Malformed input is counted and skipped — a hostile or buggy
+// exporter must never take the collector down.
+func (c *Collector) process(pb *packetBuf, scratch []flow.Record) []flow.Record {
+	defer func() {
+		pb.data = pb.data[:cap(pb.data)]
+		c.pool.Put(pb)
+	}()
+	version, ok := PacketVersion(pb.data)
+	if !ok {
+		c.mMalformed.Add(1)
+		return scratch
+	}
+	switch version {
+	case 5:
+		hdr, recs, err := DecodeV5(pb.data, scratch)
+		if err != nil {
+			c.mMalformed.Add(1)
+			return recs[:0]
+		}
+		c.accountV5(pb.exporter, hdr)
+		c.deliver(recs)
+		return recs[:0]
+	case 9:
+		hdr, recs, stats, err := c.templates.DecodeV9(pb.exporter, pb.data, scratch)
+		c.mTemplates.Add(int64(stats.TemplatesLearned))
+		c.mMissingTmpl.Add(int64(stats.MissingTemplate))
+		if err != nil {
+			c.mMalformed.Add(1)
+			// Keep whatever decoded cleanly before the error.
+		} else {
+			c.accountV9(pb.exporter, hdr)
+		}
+		c.deliver(recs)
+		return recs[:0]
+	default:
+		c.mUnknownVer.Add(1)
+		return scratch
+	}
+}
+
+// deliver hands one packet's records to the Handler under the emit
+// lock, so consumers see a single-threaded stream.
+func (c *Collector) deliver(recs []flow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	c.mRecords.Add(int64(len(recs)))
+	c.emitMu.Lock()
+	c.cfg.Handler(recs)
+	c.emitMu.Unlock()
+}
+
+// exporter returns the accounting state for one exporter stream,
+// creating it on first sight.
+func (c *Collector) exporter(key exporterKey) *exporterState {
+	st, ok := c.exporters[key]
+	if !ok {
+		st = &exporterState{}
+		c.exporters[key] = st
+		c.gExporters.Set(int64(len(c.exporters)))
+	}
+	return st
+}
+
+// accountV5 tracks the exporter's running flow count. flow_sequence is
+// the count of flows exported before this packet, so a jump forward of
+// d means exactly d flows were exported but never decoded here — lost
+// in the network, the kernel buffer, or our own queue drops. A jump
+// backward is an exporter restart (or heavy reordering): counted as a
+// reset and resynced, never as a gap.
+func (c *Collector) accountV5(exporter string, hdr V5Header) {
+	key := exporterKey{exporter, uint16(hdr.EngineType)<<8 | uint16(hdr.EngineID)}
+	c.expMu.Lock()
+	defer c.expMu.Unlock()
+	st := c.exporter(key)
+	if st.v5Seen {
+		switch d := int32(hdr.FlowSequence - st.v5Next); {
+		case d > 0:
+			c.mGaps.Add(1)
+			c.mLostFlows.Add(int64(d))
+		case d < 0:
+			c.mResets.Add(1)
+		}
+	}
+	st.v5Seen = true
+	st.v5Next = hdr.FlowSequence + uint32(hdr.Count)
+}
+
+// accountV9 does the same for v9, whose sequence counts packets.
+func (c *Collector) accountV9(exporter string, hdr V9Header) {
+	key := exporterKey{exporter, uint16(hdr.SourceID)}
+	c.expMu.Lock()
+	defer c.expMu.Unlock()
+	st := c.exporter(key)
+	if st.v9Seen {
+		switch d := int32(hdr.Sequence - st.v9Next); {
+		case d > 0:
+			c.mGaps.Add(1)
+			c.mLostPackets.Add(int64(d))
+		case d < 0:
+			c.mResets.Add(1)
+		}
+	}
+	st.v9Seen = true
+	st.v9Next = hdr.Sequence + 1
+}

@@ -1,0 +1,128 @@
+package collector
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"plotters/internal/flow"
+)
+
+// The collector sits on an open UDP port, so its decoders face truly
+// arbitrary bytes. The fuzz targets pin two properties: decoding never
+// panics (an error or records, nothing else), and decoded records are
+// round-trip stable — one encode→decode settles them onto the v5
+// millisecond grid, after which encode→decode is the identity.
+
+// v5FuzzSeeds starts the fuzzer near interesting packet shapes.
+func v5FuzzSeeds(f *testing.F) {
+	full, err := AppendV5(nil, wireRecords(), 99)
+	if err != nil {
+		f.Fatal(err)
+	}
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	for _, seed := range [][]byte{full, full[:len(full)*2/3], corrupt, {}, []byte("garbage\n")} {
+		f.Add(seed)
+	}
+}
+
+// encodeV5Chunks packs records into ≤30-record packets. ok is false when
+// the records are outside what v5 can carry (e.g. a >49-day span or a
+// pre-epoch time decoded from hostile bytes) — only representable
+// records must round-trip.
+func encodeV5Chunks(records []flow.Record) ([][]byte, bool) {
+	var pkts [][]byte
+	for len(records) > 0 {
+		n := min(len(records), V5MaxRecords)
+		pkt, err := AppendV5(nil, records[:n], 0)
+		if err != nil {
+			return nil, false
+		}
+		pkts = append(pkts, pkt)
+		records = records[n:]
+	}
+	return pkts, true
+}
+
+// decodeV5Chunks decodes packets this package itself encoded, so any
+// error is a bug.
+func decodeV5Chunks(t *testing.T, pkts [][]byte) []flow.Record {
+	t.Helper()
+	var out []flow.Record
+	for _, pkt := range pkts {
+		var err error
+		_, out, err = DecodeV5(pkt, out)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+	}
+	return out
+}
+
+func FuzzNetFlowV5Decode(f *testing.F) {
+	v5FuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, first, err := DecodeV5(data, nil)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if len(first) == 0 {
+			return // a count=0 packet is valid and empty
+		}
+		// First round trip quantizes arbitrary decoded times onto the
+		// wire's millisecond grid...
+		pkts, ok := encodeV5Chunks(first)
+		if !ok {
+			return
+		}
+		settled := decodeV5Chunks(t, pkts)
+		// ...after which the codec must be exactly stable.
+		pkts2, ok := encodeV5Chunks(settled)
+		if !ok {
+			t.Fatalf("re-encoding settled records failed")
+		}
+		again := decodeV5Chunks(t, pkts2)
+		if !reflect.DeepEqual(again, settled) {
+			t.Errorf("round trip changed settled records:\nfirst  %v\nsecond %v", settled, again)
+		}
+	})
+}
+
+func FuzzNetFlowV9Decode(f *testing.F) {
+	tmpl := v9Packet(60_000, 1194253200, 1, 42, flowSet(0, fullTemplate(300)))
+	data := v9Packet(60_000, 1194253200, 2, 42,
+		flowSet(300, fullRecord(1, 2, 3, 4, flow.TCP, tcpACK, 5, 840, 1000, 3500)))
+	both := v9Packet(60_000, 1194253200, 3, 42,
+		flowSet(0, fullTemplate(301)),
+		flowSet(301, fullRecord(5, 6, 7, 8, flow.UDP, 0, 1, 60, 0, 0)))
+	corrupt := append([]byte(nil), both...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	for _, seed := range [][]byte{tmpl, data, both, corrupt, tmpl[:12], {}, []byte("garbage\n")} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		tc := NewTemplateCache()
+		// Decode twice through one cache: the second pass exercises the
+		// data path for any template the first pass learned.
+		for i := 0; i < 2; i++ {
+			_, recs, stats, err := tc.DecodeV9("fuzz", pkt, nil)
+			if err != nil {
+				if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+			}
+			if len(recs) != stats.Records {
+				t.Fatalf("stats claim %d records, decoder returned %d", stats.Records, len(recs))
+			}
+			for j := range recs {
+				if recs[j].End.Before(recs[j].Start) {
+					t.Fatalf("record %d ends before it starts", j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package collector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+// v9HeaderSize is the fixed NetFlow v9 packet header length: version,
+// count, sys_uptime, unix_secs, package_sequence, source_id.
+const v9HeaderSize = 20
+
+// NetFlow v9 field types this decoder maps onto flow.Record. Unknown
+// types are skipped by their template-declared length, which is what
+// makes the decoder template-lite: any layout parses, only these fields
+// land in the record.
+const (
+	fieldInBytes  = 1  // SrcBytes
+	fieldInPkts   = 2  // SrcPkts
+	fieldProtocol = 4  // Proto
+	fieldTCPFlags = 6  // State (see flagsState)
+	fieldSrcPort  = 7  // SrcPort
+	fieldSrcAddr  = 8  // Src (IPv4)
+	fieldDstPort  = 11 // DstPort
+	fieldDstAddr  = 12 // Dst (IPv4)
+	fieldLastMS   = 21 // End, sysuptime-relative ms
+	fieldFirstMS  = 22 // Start, sysuptime-relative ms
+	fieldOutBytes = 23 // DstBytes
+	fieldOutPkts  = 24 // DstPkts
+)
+
+// V9Header is the decoded fixed header of one NetFlow v9 packet.
+type V9Header struct {
+	// SysUptime and Exported reconstruct absolute record times exactly
+	// as in v5 (Exported has only second resolution in v9).
+	SysUptime time.Duration
+	Exported  time.Time
+	// Sequence counts export packets (not flows, unlike v5) from this
+	// source; gaps measure lost packets.
+	Sequence uint32
+	// SourceID scopes template IDs: templates are cached per
+	// (exporter, SourceID, template ID).
+	SourceID uint32
+}
+
+// V9Stats summarizes the non-record outcomes of decoding one packet.
+type V9Stats struct {
+	// TemplatesLearned counts template definitions absorbed.
+	TemplatesLearned int
+	// Records counts flow records decoded from data FlowSets.
+	Records int
+	// MissingTemplate counts data FlowSets skipped because their
+	// template has not been seen yet (a fact of v9 life after an
+	// exporter or collector restart — exporters re-announce templates
+	// periodically).
+	MissingTemplate int
+	// SkippedSets counts FlowSets ignored by design (options
+	// templates and options data).
+	SkippedSets int
+}
+
+// v9Field is one template field: an IANA type and a wire length.
+type v9Field struct {
+	typ    uint16
+	length int
+}
+
+// v9Template is one cached template's layout.
+type v9Template struct {
+	fields  []v9Field
+	recLen  int
+	hasFlag bool // template carries TCP_FLAGS
+	hasOut  bool // template carries OUT_PKTS
+}
+
+// v9TemplateKey scopes a template to its announcing exporter stream.
+type v9TemplateKey struct {
+	exporter string
+	sourceID uint32
+	id       uint16
+}
+
+// TemplateCache holds NetFlow v9 templates across packets, keyed by
+// (exporter, source ID, template ID). Safe for concurrent use — decode
+// workers share one cache.
+type TemplateCache struct {
+	mu sync.Mutex
+	m  map[v9TemplateKey]*v9Template
+}
+
+// NewTemplateCache returns an empty cache.
+func NewTemplateCache() *TemplateCache {
+	return &TemplateCache{m: make(map[v9TemplateKey]*v9Template)}
+}
+
+// Templates returns how many templates are cached.
+func (tc *TemplateCache) Templates() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.m)
+}
+
+func (tc *TemplateCache) store(key v9TemplateKey, t *v9Template) {
+	tc.mu.Lock()
+	tc.m[key] = t
+	tc.mu.Unlock()
+}
+
+func (tc *TemplateCache) lookup(key v9TemplateKey) *v9Template {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.m[key]
+}
+
+// DecodeV9 decodes one NetFlow v9 packet from exporter, learning any
+// template FlowSets into the cache and appending data records to dst.
+// Data FlowSets whose template is unknown are counted and skipped, not
+// errors — the exporter will re-announce. A structural error (truncated
+// FlowSet, malformed template) abandons the rest of the packet but
+// keeps everything decoded before it.
+func (tc *TemplateCache) DecodeV9(exporter string, pkt []byte, dst []flow.Record) (V9Header, []flow.Record, V9Stats, error) {
+	var stats V9Stats
+	if len(pkt) < v9HeaderSize {
+		return V9Header{}, dst, stats, fmt.Errorf("%w: %d bytes, need %d for a v9 header", ErrTruncated, len(pkt), v9HeaderSize)
+	}
+	be := binary.BigEndian
+	if v := be.Uint16(pkt); v != 9 {
+		return V9Header{}, dst, stats, fmt.Errorf("%w: version %d, want 9", ErrVersion, v)
+	}
+	hdr := V9Header{
+		SysUptime: time.Duration(be.Uint32(pkt[4:])) * time.Millisecond,
+		Exported:  time.Unix(int64(be.Uint32(pkt[8:])), 0).UTC(),
+		Sequence:  be.Uint32(pkt[12:]),
+		SourceID:  be.Uint32(pkt[16:]),
+	}
+	boot := hdr.Exported.Add(-hdr.SysUptime)
+
+	off := v9HeaderSize
+	for off+4 <= len(pkt) {
+		setID := be.Uint16(pkt[off:])
+		setLen := int(be.Uint16(pkt[off+2:]))
+		if setLen < 4 || off+setLen > len(pkt) {
+			return hdr, dst, stats, fmt.Errorf("%w: FlowSet %d claims %d bytes with %d remaining", ErrCorrupt, setID, setLen, len(pkt)-off)
+		}
+		body := pkt[off+4 : off+setLen]
+		switch {
+		case setID == 0: // template FlowSet
+			n, err := tc.learnTemplates(exporter, hdr.SourceID, body)
+			stats.TemplatesLearned += n
+			if err != nil {
+				return hdr, dst, stats, err
+			}
+		case setID == 1: // options template FlowSet: out of scope
+			stats.SkippedSets++
+		case setID < 256: // reserved
+			stats.SkippedSets++
+		default: // data FlowSet
+			t := tc.lookup(v9TemplateKey{exporter, hdr.SourceID, setID})
+			if t == nil {
+				stats.MissingTemplate++
+				break
+			}
+			var err error
+			dst, stats.Records, err = t.decodeRecords(body, boot, hdr.Exported, dst, stats.Records)
+			if err != nil {
+				return hdr, dst, stats, err
+			}
+		}
+		off += setLen
+	}
+	return hdr, dst, stats, nil
+}
+
+// learnTemplates parses one template FlowSet body: a sequence of
+// (template ID, field count, fields...) definitions.
+func (tc *TemplateCache) learnTemplates(exporter string, sourceID uint32, body []byte) (int, error) {
+	be := binary.BigEndian
+	learned := 0
+	for len(body) >= 4 {
+		id := be.Uint16(body)
+		fieldCount := int(be.Uint16(body[2:]))
+		body = body[4:]
+		if id < 256 {
+			return learned, fmt.Errorf("%w: template ID %d is reserved", ErrCorrupt, id)
+		}
+		if len(body) < fieldCount*4 {
+			return learned, fmt.Errorf("%w: template %d declares %d fields with %d bytes left", ErrCorrupt, id, fieldCount, len(body))
+		}
+		t := &v9Template{fields: make([]v9Field, 0, fieldCount)}
+		for i := 0; i < fieldCount; i++ {
+			typ := be.Uint16(body[i*4:])
+			length := int(be.Uint16(body[i*4+2:]))
+			if length == 0 {
+				return learned, fmt.Errorf("%w: template %d field %d has zero length", ErrCorrupt, id, typ)
+			}
+			t.fields = append(t.fields, v9Field{typ: typ, length: length})
+			t.recLen += length
+			switch typ {
+			case fieldTCPFlags:
+				t.hasFlag = true
+			case fieldOutPkts:
+				t.hasOut = true
+			}
+		}
+		body = body[fieldCount*4:]
+		if t.recLen == 0 {
+			return learned, fmt.Errorf("%w: template %d has no fields", ErrCorrupt, id)
+		}
+		tc.store(v9TemplateKey{exporter, sourceID, id}, t)
+		learned++
+	}
+	return learned, nil
+}
+
+// decodeRecords cracks a data FlowSet body against the template,
+// appending to dst. Trailing bytes shorter than one record are padding.
+func (t *v9Template) decodeRecords(body []byte, boot, exported time.Time, dst []flow.Record, n int) ([]flow.Record, int, error) {
+	for len(body) >= t.recLen {
+		rec := flow.Record{Start: exported, End: exported}
+		var flags byte
+		var outPkts uint64
+		var first, last int64 = -1, -1
+		off := 0
+		for _, f := range t.fields {
+			raw := body[off : off+f.length]
+			off += f.length
+			v, ok := uintField(raw)
+			if !ok {
+				continue // wider than 8 bytes: not a numeric field we read
+			}
+			switch f.typ {
+			case fieldInBytes:
+				rec.SrcBytes = v
+			case fieldInPkts:
+				rec.SrcPkts = uint32(min(v, 1<<32-1))
+			case fieldProtocol:
+				rec.Proto = flow.Proto(v)
+			case fieldTCPFlags:
+				flags = byte(v)
+			case fieldSrcPort:
+				rec.SrcPort = uint16(v)
+			case fieldSrcAddr:
+				rec.Src = flow.IP(v)
+			case fieldDstPort:
+				rec.DstPort = uint16(v)
+			case fieldDstAddr:
+				rec.Dst = flow.IP(v)
+			case fieldFirstMS:
+				first = int64(v)
+			case fieldLastMS:
+				last = int64(v)
+			case fieldOutBytes:
+				rec.DstBytes = v
+			case fieldOutPkts:
+				rec.DstPkts = uint32(min(v, 1<<32-1))
+				outPkts = v
+			}
+		}
+		if first >= 0 {
+			rec.Start = boot.Add(time.Duration(first) * time.Millisecond)
+		}
+		if last >= 0 {
+			rec.End = boot.Add(time.Duration(last) * time.Millisecond)
+		}
+		if rec.End.Before(rec.Start) {
+			return dst, n, fmt.Errorf("%w: v9 record ends before it starts", ErrCorrupt)
+		}
+		rec.State = t.state(rec.Proto, flags, outPkts)
+		dst = append(dst, rec)
+		n++
+		body = body[t.recLen:]
+	}
+	return dst, n, nil
+}
+
+// state derives the connection outcome from what the template offers:
+// tcp_flags when announced (same rule as v5), else the presence of
+// reply packets, else the conservative "established".
+func (t *v9Template) state(proto flow.Proto, flags byte, outPkts uint64) flow.ConnState {
+	switch {
+	case t.hasFlag:
+		return flagsState(proto, flags)
+	case t.hasOut:
+		if outPkts > 0 {
+			return flow.StateEstablished
+		}
+		return flow.StateFailed
+	default:
+		return flow.StateEstablished
+	}
+}
+
+// uintField reads a 1..8-byte big-endian unsigned field.
+func uintField(b []byte) (uint64, bool) {
+	if len(b) > 8 {
+		return 0, false
+	}
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v, true
+}

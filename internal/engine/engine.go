@@ -50,6 +50,14 @@ type Config struct {
 	// monitor's end-of-flow reporting needs). Window boundaries are
 	// sealed only once the frontier has advanced MaxSkew past them.
 	MaxSkew time.Duration
+	// DropLate makes records beyond MaxSkew a non-fatal event: Add
+	// counts the drop (Dropped, "engine/drops") and returns nil instead
+	// of ErrLateRecord. This is the mode a live collector wants — one
+	// packet straggling in after a window sealed is a statistic, not a
+	// reason to abort ingest. Off, Add surfaces ErrLateRecord per
+	// record and the caller decides (the batch-replay behavior, where a
+	// late record means the trace is broken).
+	DropLate bool
 	// CarryFirstSeen keeps each host's first-seen time across window
 	// rotations, so the θ_churn new-peer grace period stays anchored at
 	// the host's earliest observed activity — the behavior a batch
@@ -123,6 +131,7 @@ type WindowedDetector struct {
 	frontier time.Time // latest start time seen (or AdvanceTo watermark)
 	recent   []*flow.Pane
 	emitted  int
+	dropped  int
 }
 
 // New creates a windowed detector. emit receives each sealed window's
@@ -161,6 +170,10 @@ func (d *WindowedDetector) Store() *flow.ShardedExtractor { return d.store }
 // Windows returns how many window results have been emitted.
 func (d *WindowedDetector) Windows() int { return d.emitted }
 
+// Dropped returns how many records were dropped for arriving beyond
+// MaxSkew, in either error mode.
+func (d *WindowedDetector) Dropped() int { return d.dropped }
+
 func (d *WindowedDetector) paneStart() time.Time {
 	return d.origin.Add(time.Duration(d.paneIdx) * d.paneDur)
 }
@@ -171,8 +184,9 @@ func (d *WindowedDetector) paneEnd() time.Time {
 
 // Add folds one record into the open window, sealing and detecting any
 // windows the record's start time proves complete first. Records more
-// than MaxSkew behind the frontier are dropped with ErrLateRecord;
-// detection and emit errors abort the call.
+// than MaxSkew behind the frontier are dropped: with ErrLateRecord, or
+// silently counted when cfg.DropLate is set. Detection and emit errors
+// abort the call either way.
 func (d *WindowedDetector) Add(r *flow.Record) error {
 	if !d.started {
 		d.origin = d.cfg.Origin
@@ -193,7 +207,11 @@ func (d *WindowedDetector) Add(r *flow.Record) error {
 		return err
 	}
 	if err := d.store.Add(r); err != nil {
+		d.dropped++
 		d.cfg.Core.Metrics.Counter("engine/drops").Add(1)
+		if d.cfg.DropLate {
+			return nil
+		}
 		return fmt.Errorf("%w: %v", ErrLateRecord, err)
 	}
 	d.cfg.Core.Metrics.Counter("engine/records").Add(1)

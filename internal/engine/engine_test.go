@@ -9,6 +9,7 @@ import (
 
 	"plotters/internal/core"
 	"plotters/internal/flow"
+	"plotters/internal/metrics"
 )
 
 func baseTime() time.Time {
@@ -288,6 +289,62 @@ func TestLateRecordDropped(t *testing.T) {
 	r3 := mk(base.Add(62 * time.Minute))
 	if err := d.Add(&r3); err != nil {
 		t.Errorf("stream did not continue after a drop: %v", err)
+	}
+	if d.Dropped() != 1 {
+		t.Errorf("Dropped() = %d, want 1", d.Dropped())
+	}
+}
+
+// DropLate turns skew drops into a statistic: Add returns nil, the drop
+// is visible in Dropped() and the "engine/drops" counter, and on-time
+// records are unaffected — what a live collector needs when one packet
+// straggles in after its window sealed.
+func TestDropLateModeCountsNotErrors(t *testing.T) {
+	base := baseTime()
+	coreCfg := testConfig()
+	coreCfg.Metrics = metrics.New()
+	d, err := New(Config{
+		Window:   time.Hour,
+		Origin:   base,
+		MaxSkew:  time.Minute,
+		DropLate: true,
+		Core:     coreCfg,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(at time.Time) flow.Record {
+		return flow.Record{
+			Src: 1, Dst: 100, SrcPort: 4000, DstPort: 80, Proto: flow.TCP,
+			Start: at, End: at.Add(time.Second),
+			SrcPkts: 1, DstPkts: 1, SrcBytes: 10, DstBytes: 10,
+			State: flow.StateEstablished,
+		}
+	}
+	for _, at := range []time.Duration{30 * time.Minute, 61*time.Minute + time.Second} {
+		r := mk(base.Add(at))
+		if err := d.Add(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ { // three stragglers below the sealed boundary
+		late := mk(base.Add(50 * time.Minute))
+		if err := d.Add(&late); err != nil {
+			t.Fatalf("late record %d: err = %v, want nil in DropLate mode", i, err)
+		}
+	}
+	if d.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", d.Dropped())
+	}
+	if n := coreCfg.Metrics.Counter("engine/drops").Value(); n != 3 {
+		t.Errorf("engine/drops = %d, want 3", n)
+	}
+	r := mk(base.Add(62 * time.Minute))
+	if err := d.Add(&r); err != nil {
+		t.Errorf("on-time record after drops: %v", err)
+	}
+	if n := coreCfg.Metrics.Counter("engine/records").Value(); n != 3 {
+		t.Errorf("engine/records = %d, want 3 (drops must not count as ingested)", n)
 	}
 }
 

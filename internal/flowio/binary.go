@@ -1,7 +1,9 @@
-// Package flowio reads and writes flow-record traces in three formats: a
+// Package flowio reads and writes flow-record traces in four formats: a
 // compact streaming binary format (the native trace format of this
-// project's tools), CSV, and JSON Lines. All codecs stream — traces can
-// be far larger than memory, as they would be at a real network border.
+// project's tools), CSV, JSON Lines, and NetFlow v5 packet streams (the
+// wire format real exporters speak — see NetFlowWriter). All codecs
+// stream — traces can be far larger than memory, as they would be at a
+// real network border.
 package flowio
 
 import (

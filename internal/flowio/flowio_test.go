@@ -420,3 +420,159 @@ func TestCSVReaderEmptyInput(t *testing.T) {
 		}
 	}
 }
+
+// netflowSample returns records inside the v5 wire format's carrying
+// capacity: millisecond-aligned times, initiator-side counters only, no
+// payload. What NetFlow cannot carry is exercised separately in
+// TestNetFlowLossyFields.
+func netflowSample() []flow.Record {
+	records := sampleRecords()
+	for i := range records {
+		records[i].DstPkts = 0
+		records[i].DstBytes = 0
+		records[i].Payload = nil
+	}
+	return records
+}
+
+func TestNetFlowRoundTrip(t *testing.T) {
+	// 70 records spread over >2 packets.
+	base := netflowSample()
+	var records []flow.Record
+	for i := 0; len(records) < 70; i++ {
+		r := base[i%len(base)]
+		r.Start = r.Start.Add(time.Duration(i) * time.Second)
+		r.End = r.End.Add(time.Duration(i) * time.Second)
+		records = append(records, r)
+	}
+	var buf bytes.Buffer
+	if err := WriteAllNetFlow(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllNetFlow(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Errorf("round trip mismatch:\ngot  %v\nwant %v", got, records)
+	}
+}
+
+// NetFlow v5 is deliberately lossy: times floor to the millisecond,
+// responder counters and payload vanish. The rest survives.
+func TestNetFlowLossyFields(t *testing.T) {
+	records := sampleRecords()
+	records[0].Start = records[0].Start.Add(123 * time.Microsecond)
+	var buf bytes.Buffer
+	if err := WriteAllNetFlow(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllNetFlow(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := netflowSample()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lossy decode mismatch:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+func TestNetFlowEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllNetFlow(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty netflow trace = %d bytes, want 0 (no file header, only packets)", buf.Len())
+	}
+	got, err := ReadAllNetFlow(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("ReadAllNetFlow(empty) = %v, %v", got, err)
+	}
+}
+
+func TestNetFlowTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllNetFlow(&buf, netflowSample()); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{buf.Len() - 3, 10} { // mid-record, mid-header
+		_, err := ReadAllNetFlow(bytes.NewReader(buf.Bytes()[:cut]))
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("trace cut at %d decoded cleanly (err = %v)", cut, err)
+		}
+	}
+	// Cut at a packet boundary: clean EOF, shorter trace.
+	got, err := ReadAllNetFlow(bytes.NewReader(buf.Bytes()[:0]))
+	if err != nil || len(got) != 0 {
+		t.Errorf("boundary cut: %v, %v", got, err)
+	}
+}
+
+// countingWriter counts Write calls — the one-datagram-per-packet
+// contract a UDP conn depends on.
+type countingWriter struct {
+	writes int
+	bytes.Buffer
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.writes++
+	return cw.Buffer.Write(p)
+}
+
+func TestNetFlowOneWritePerPacket(t *testing.T) {
+	base := netflowSample()[0]
+	var cw countingWriter
+	nw := NewNetFlowWriter(&cw)
+	for i := 0; i < 35; i++ { // one full packet + one partial
+		r := base
+		r.Start = r.Start.Add(time.Duration(i) * time.Second)
+		r.End = r.End.Add(time.Duration(i) * time.Second)
+		if err := nw.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cw.writes != 1 {
+		t.Errorf("writes before Flush = %d, want 1 (the full packet)", cw.writes)
+	}
+	if err := nw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.writes != 2 {
+		t.Errorf("writes after Flush = %d, want 2", cw.writes)
+	}
+	got, err := ReadAllNetFlow(bytes.NewReader(cw.Buffer.Bytes()))
+	if err != nil || len(got) != 35 {
+		t.Errorf("read back %d records, err %v", len(got), err)
+	}
+}
+
+func TestNetFlowRejectsInvalidRecord(t *testing.T) {
+	bad := netflowSample()[0]
+	bad.End = bad.Start.Add(-time.Hour)
+	nw := NewNetFlowWriter(&bytes.Buffer{})
+	if err := nw.Write(&bad); err == nil {
+		t.Error("invalid record accepted by netflow writer")
+	}
+}
+
+func TestNetFlowCopyConvertsFormats(t *testing.T) {
+	records := netflowSample()
+	var bin bytes.Buffer
+	if err := WriteAllBinary(&bin, records); err != nil {
+		t.Fatal(err)
+	}
+	var nf bytes.Buffer
+	if _, err := Copy(NewNetFlowWriter(&nf), NewBinaryReader(bytes.NewReader(bin.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	var bin2 bytes.Buffer
+	if _, err := Copy(NewBinaryWriter(&bin2), NewNetFlowReader(bytes.NewReader(nf.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllBinary(bytes.NewReader(bin2.Bytes()))
+	if err != nil || !recordsEqual(got, records) {
+		t.Errorf("binary→netflow→binary conversion lost data: %v", err)
+	}
+}

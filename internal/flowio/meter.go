@@ -44,6 +44,13 @@ func (j *JSONLReader) Meter(reg *metrics.Registry) {
 	j.src.bytes = reg.Counter("flowio/jsonl/bytes")
 }
 
+// Meter attaches reg's "flowio/netflow/records" and
+// "flowio/netflow/bytes" counters to the reader.
+func (nr *NetFlowReader) Meter(reg *metrics.Registry) {
+	nr.records = reg.Counter("flowio/netflow/records")
+	nr.src.bytes = reg.Counter("flowio/netflow/bytes")
+}
+
 // MeterReader attaches reg to r when r is one of this package's codec
 // readers (a caller holding only the Reader interface can instrument
 // without a type switch of its own). Unknown Reader implementations are
@@ -55,6 +62,8 @@ func MeterReader(r Reader, reg *metrics.Registry) Reader {
 	case *CSVReader:
 		tr.Meter(reg)
 	case *JSONLReader:
+		tr.Meter(reg)
+	case *NetFlowReader:
 		tr.Meter(reg)
 	}
 	return r

@@ -39,8 +39,12 @@ func TestMeteredReaders(t *testing.T) {
 		{"binary", func(w io.Writer) Writer { return NewBinaryWriter(w) }, func(r io.Reader) Reader { return NewBinaryReader(r) }},
 		{"csv", func(w io.Writer) Writer { return NewCSVWriter(w) }, func(r io.Reader) Reader { return NewCSVReader(r) }},
 		{"jsonl", func(w io.Writer) Writer { return NewJSONLWriter(w) }, func(r io.Reader) Reader { return NewJSONLReader(r) }},
+		{"netflow", func(w io.Writer) Writer { return NewNetFlowWriter(w) }, func(r io.Reader) Reader { return NewNetFlowReader(r) }},
 	} {
 		t.Run(tc.format, func(t *testing.T) {
+			if tc.format == "netflow" {
+				records = netflowSample() // inside v5 carrying capacity
+			}
 			var buf bytes.Buffer
 			w := tc.encode(&buf)
 			for i := range records {

@@ -30,9 +30,11 @@ var (
 	_ Reader = (*BinaryReader)(nil)
 	_ Reader = (*CSVReader)(nil)
 	_ Reader = (*JSONLReader)(nil)
+	_ Reader = (*NetFlowReader)(nil)
 	_ Writer = (*BinaryWriter)(nil)
 	_ Writer = (*CSVWriter)(nil)
 	_ Writer = (*JSONLWriter)(nil)
+	_ Writer = (*NetFlowWriter)(nil)
 )
 
 // CSVReader streams records from CSV.

@@ -38,6 +38,7 @@ import (
 
 	"plotters/internal/argus"
 	"plotters/internal/baseline"
+	"plotters/internal/collector"
 	"plotters/internal/core"
 	"plotters/internal/engine"
 	"plotters/internal/eval"
@@ -438,7 +439,7 @@ func NewWindowedDetector(cfg EngineConfig, emit func(*WindowResult) error) (*Win
 	return engine.New(cfg, emit)
 }
 
-// Streaming trace I/O: Next()/Write() interfaces over all three formats,
+// Streaming trace I/O: Next()/Write() interfaces over all four formats,
 // for traces larger than memory.
 type (
 	// TraceReader streams records from a trace.
@@ -448,7 +449,8 @@ type (
 )
 
 // NewTraceReader opens a streaming reader for the given format
-// ("binary", "csv", or "jsonl").
+// ("binary", "csv", "jsonl", or "netflow" — a stream of NetFlow v5
+// export packets).
 func NewTraceReader(r io.Reader, format string) (TraceReader, error) {
 	switch format {
 	case "binary":
@@ -457,12 +459,17 @@ func NewTraceReader(r io.Reader, format string) (TraceReader, error) {
 		return flowio.NewCSVReader(r), nil
 	case "jsonl":
 		return flowio.NewJSONLReader(r), nil
+	case "netflow":
+		return flowio.NewNetFlowReader(r), nil
 	default:
 		return nil, fmt.Errorf("plotters: unknown trace format %q", format)
 	}
 }
 
-// NewTraceWriter opens a streaming writer for the given format.
+// NewTraceWriter opens a streaming writer for the given format. The
+// "netflow" writer issues one Write per packed v5 packet, so handing it
+// a net.Conn replays the trace as real exporter datagrams (lossily:
+// millisecond timestamps, no responder counters, no payload).
 func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
 	switch format {
 	case "binary":
@@ -471,6 +478,8 @@ func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
 		return flowio.NewCSVWriter(w), nil
 	case "jsonl":
 		return flowio.NewJSONLWriter(w), nil
+	case "netflow":
+		return flowio.NewNetFlowWriter(w), nil
 	default:
 		return nil, fmt.Errorf("plotters: unknown trace format %q", format)
 	}
@@ -504,4 +513,33 @@ func NewMetrics() *Metrics { return metrics.New() }
 // other packages are returned untouched.
 func MeterTraceReader(r TraceReader, reg *Metrics) TraceReader {
 	return flowio.MeterReader(r, reg)
+}
+
+// Live collection: a UDP listener decodes NetFlow v5/v9 export packets
+// from border routers (or flowreplay) and hands the records to a
+// Handler — typically a WindowedDetector for continuous detection off
+// the wire. See internal/collector for the full dataflow.
+type (
+	// CollectorConfig shapes a live NetFlow collector.
+	CollectorConfig = collector.Config
+	// Collector ingests NetFlow export packets from a UDP socket.
+	Collector = collector.Collector
+	// NetFlowV5Header is the decoded fixed header of one v5 packet.
+	NetFlowV5Header = collector.V5Header
+)
+
+// ListenNetFlow binds the collector's UDP socket; drive it with Run.
+func ListenNetFlow(cfg CollectorConfig) (*Collector, error) { return collector.Listen(cfg) }
+
+// AppendNetFlowV5 encodes 1..30 records as one NetFlow v5 export packet
+// appended to dst. seq is the exporter's running flow count before this
+// packet; maintain it as seq += len(records).
+func AppendNetFlowV5(dst []byte, records []Record, seq uint32) ([]byte, error) {
+	return collector.AppendV5(dst, records, seq)
+}
+
+// DecodeNetFlowV5 decodes one NetFlow v5 export packet, appending its
+// records to dst.
+func DecodeNetFlowV5(pkt []byte, dst []Record) (NetFlowV5Header, []Record, error) {
+	return collector.DecodeV5(pkt, dst)
 }
