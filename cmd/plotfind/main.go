@@ -6,7 +6,7 @@
 //
 //	plotfind [-format binary|csv|jsonl|netflow] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
 //	plotfind -window 6h [-slide 1h] [-shards N] [-skew 5m] ... TRACE
-//	plotfind -listen :2055 -window 6h [-skew 5m] ...
+//	plotfind -listen :2055 -window 6h [-skew 5m] [-state-dir DIR [-checkpoint-every 5m]] ...
 //
 // With -window, the trace streams through the continuous windowed
 // detection engine instead of one batch run: records feed a sharded
@@ -22,8 +22,17 @@
 // Records beyond the -skew tolerance are counted and dropped, never
 // fatal — a live socket cannot re-request the past. Stop with Ctrl-C
 // (SIGINT/SIGTERM): the collector drains its queue, the final partial
-// window is flushed, and the summary (plus the -metrics report, if
-// requested) is written on the way out.
+// window is flushed (marked [partial]), and the summary (plus the
+// -metrics report, if requested) is written on the way out.
+//
+// With -state-dir, the live run is crash-safe: every record is
+// write-ahead logged before it reaches the engine, and the full
+// detection state — per-host features, window positions, collector
+// sequence numbers — is snapshotted atomically every -checkpoint-every
+// interval and once more on shutdown. Restarting with the same flags
+// and directory restores the snapshot, replays the WAL tail, and
+// resumes detection exactly where the previous process stopped, even
+// after a kill -9.
 //
 // With -metrics, a JSON run report is written to FILE: trace metadata,
 // total elapsed time, and a full metrics snapshot with every pipeline
@@ -71,6 +80,9 @@ func run() error {
 		shards    = flag.Int("shards", 0, "feature-store shard count for -window mode (0 = one per CPU)")
 		skew      = flag.Duration("skew", 0, "out-of-order tolerance for -window mode (records later than this are dropped)")
 		listen    = flag.String("listen", "", "UDP address to collect live NetFlow exports on (e.g. :2055) instead of reading a trace; requires -window")
+		stateDir  = flag.String("state-dir", "", "directory for crash-safe durable state (snapshot + write-ahead log); requires -listen. On start, any state found there is recovered")
+		ckptEvery = flag.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval for -state-dir")
+		walSync   = flag.Int("wal-sync-every", 256, "fsync the write-ahead log every N records (1 = every record: survives power loss, but gates ingest on fsync latency)")
 	)
 	flag.Parse()
 	if *listen != "" {
@@ -81,6 +93,8 @@ func run() error {
 		if *window <= 0 {
 			return fmt.Errorf("-listen requires -window (live detection is windowed)")
 		}
+	} else if *stateDir != "" {
+		return fmt.Errorf("-state-dir requires -listen (durable state protects live collection; file traces just re-run)")
 	} else if flag.NArg() != 1 {
 		flag.Usage()
 		return fmt.Errorf("expected exactly one trace file argument")
@@ -119,10 +133,12 @@ func run() error {
 			Core:     cfg,
 		}
 		var n int
+		var ckpt *checkpointReport
 		var source, srcFormat string
 		if *listen != "" {
 			source, srcFormat = *listen, "netflow-udp"
-			n, err = runListen(*listen, reg, engCfg, *verbose)
+			engCfg.StateDir = *stateDir
+			n, ckpt, err = runListen(*listen, reg, engCfg, *ckptEvery, *walSync, *verbose)
 		} else {
 			source, srcFormat = flag.Arg(0), *format
 			n, err = runWindowed(source, srcFormat, reg, engCfg, *verbose)
@@ -131,7 +147,7 @@ func run() error {
 			return err
 		}
 		if reg != nil {
-			if err := writeReport(*metricsTo, source, srcFormat, n, time.Since(started), reg); err != nil {
+			if err := writeReport(*metricsTo, source, srcFormat, n, time.Since(started), reg, ckpt); err != nil {
 				return err
 			}
 			fmt.Printf("\nrun report written to %s\n", *metricsTo)
@@ -196,7 +212,7 @@ func run() error {
 		fmt.Printf("(* = kept by τ_hm)\n")
 	}
 	if reg != nil {
-		if err := writeReport(*metricsTo, flag.Arg(0), *format, len(records), time.Since(started), reg); err != nil {
+		if err := writeReport(*metricsTo, flag.Arg(0), *format, len(records), time.Since(started), reg, nil); err != nil {
 			return err
 		}
 		fmt.Printf("\nrun report written to %s\n", *metricsTo)
@@ -254,12 +270,18 @@ func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.Engine
 }
 
 // windowPrinter builds the per-window emit callback shared by the file
-// and live ingest paths.
+// and live ingest paths. Windows flushed before their scheduled end
+// (shutdown, end of trace) are marked partial — their counts cover
+// only the portion of the window that actually elapsed.
 func windowPrinter(verbose bool) func(*plotters.WindowResult) error {
 	return func(res *plotters.WindowResult) error {
 		det := res.Detection
-		fmt.Printf("window %d %s: hosts=%d records=%d reduction=%d vol=%d churn=%d suspects=%d\n",
-			res.Index, res.Window, res.Hosts, res.Records,
+		partial := ""
+		if res.Partial {
+			partial = " [partial]"
+		}
+		fmt.Printf("window %d %s%s: hosts=%d records=%d reduction=%d vol=%d churn=%d suspects=%d\n",
+			res.Index, res.Window, partial, res.Hosts, res.Records,
 			len(det.Reduction.Kept), len(det.Volume.Kept), len(det.Churn.Kept), len(det.Suspects))
 		if verbose {
 			feats := det.Analysis.Features()
@@ -275,15 +297,23 @@ func windowPrinter(verbose bool) func(*plotters.WindowResult) error {
 
 // runListen binds a UDP socket and feeds live NetFlow exports into the
 // windowed engine until SIGINT/SIGTERM, then drains, flushes the final
-// window, and returns the record count. Late records are dropped and
-// counted rather than treated as fatal — a live socket cannot replay
-// the past — and decode runs on a single worker so records reach the
-// engine in arrival order.
-func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, verbose bool) (int, error) {
+// (partial) window, and returns the record count. Late records are
+// dropped and counted rather than treated as fatal — a live socket
+// cannot replay the past — and decode runs on a single worker so
+// records reach the engine in arrival order.
+//
+// With a state directory configured, every record is write-ahead
+// logged before it reaches the engine and a checkpointer goroutine
+// snapshots the full detection state on the -checkpoint-every cadence.
+// On start, state left by a previous (possibly crashed) process is
+// recovered: the snapshot is restored and the WAL tail replayed, so
+// detection resumes exactly where it stopped. Graceful shutdown ends
+// with a final checkpoint, so a clean restart replays nothing.
+func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ckptEvery time.Duration, walSync int, verbose bool) (int, *checkpointReport, error) {
 	cfg.DropLate = true
 	eng, err := plotters.NewWindowedDetector(cfg, windowPrinter(verbose))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 
 	// n and ingestErr are written only by the collector's single worker
@@ -292,6 +322,21 @@ func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ve
 	var ingestErr error
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var mgr *plotters.CheckpointManager
+	add := eng.Add
+	if cfg.StateDir != "" {
+		mgr, err = plotters.NewCheckpointManager(plotters.CheckpointConfig{
+			Interval:  ckptEvery,
+			SyncEvery: walSync,
+			Metrics:   reg,
+		}, eng)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer mgr.Close()
+		add = mgr.Add
+	}
 
 	col, err := plotters.ListenNetFlow(plotters.CollectorConfig{
 		Addr:    addr,
@@ -303,9 +348,10 @@ func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ve
 			}
 			for i := range records {
 				n++
-				if err := eng.Add(&records[i]); err != nil {
+				if err := add(&records[i]); err != nil {
 					// DropLate absorbs skew; anything left is a real
-					// detection or emit failure — stop collecting.
+					// detection, durability, or emit failure — stop
+					// collecting.
 					ingestErr = err
 					stop()
 					return
@@ -314,25 +360,88 @@ func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ve
 		},
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
+	}
+
+	// Recovery runs after the socket binds but before packets flow
+	// (nothing is decoded until col.Run), so replayed windows print
+	// before live ones.
+	var recovered *plotters.CheckpointRecovery
+	ckptErr := make(chan error, 1)
+	if mgr != nil {
+		mgr.AttachCollector(col)
+		recovered, err = mgr.Recover()
+		if err != nil {
+			return 0, nil, fmt.Errorf("recovering %s: %w", mgr.Dir(), err)
+		}
+		switch {
+		case recovered.SnapshotLoaded:
+			fmt.Fprintf(os.Stderr, "recovered state from %s: snapshot of %s, %d WAL records replayed\n",
+				mgr.Dir(), recovered.SnapshotCreated.Format(time.RFC3339), recovered.Replayed)
+		case recovered.Replayed > 0:
+			fmt.Fprintf(os.Stderr, "recovered state from %s: no snapshot, %d WAL records replayed\n",
+				mgr.Dir(), recovered.Replayed)
+		default:
+			fmt.Fprintf(os.Stderr, "durable state in %s (cold start)\n", mgr.Dir())
+		}
+		if recovered.WALTorn {
+			fmt.Fprintln(os.Stderr, "note: WAL ended mid-frame (crash during append); torn tail truncated")
+		}
+		col.RestoreSequenceStates(recovered.Exporters)
+		go func() { ckptErr <- mgr.Run(ctx) }()
+	} else {
+		close(ckptErr)
 	}
 	fmt.Fprintf(os.Stderr, "listening for NetFlow v5/v9 on %s (Ctrl-C to stop)\n", col.Addr())
 
 	if err := col.Run(ctx); err != nil {
-		return n, err
+		return n, nil, err
+	}
+	stop()
+	if err := <-ckptErr; err != nil {
+		return n, nil, err
 	}
 	if ingestErr != nil {
-		return n, ingestErr
+		return n, nil, ingestErr
 	}
-	if err := eng.Flush(); err != nil {
-		return n, err
+
+	// Graceful shutdown: flush the final (partial) window, then commit
+	// one last checkpoint so a clean restart replays nothing.
+	var ckpt *checkpointReport
+	if mgr != nil {
+		if err := mgr.Flush(); err != nil {
+			return n, nil, err
+		}
+		if err := mgr.Checkpoint(); err != nil {
+			return n, nil, fmt.Errorf("final checkpoint: %w", err)
+		}
+		st, err := os.Stat(mgr.SnapshotPath())
+		if err != nil {
+			return n, nil, err
+		}
+		if err := mgr.Close(); err != nil {
+			return n, nil, err
+		}
+		ckpt = &checkpointReport{
+			StateDir:        mgr.Dir(),
+			SnapshotPath:    mgr.SnapshotPath(),
+			SnapshotBytes:   st.Size(),
+			SnapshotLoaded:  recovered.SnapshotLoaded,
+			ReplayedRecords: recovered.Replayed,
+		}
+	} else if err := eng.Flush(); err != nil {
+		return n, nil, err
 	}
+
 	fmt.Printf("\n%d records collected, %d windows detected", n, eng.Windows())
 	if d := eng.Dropped(); d > 0 {
 		fmt.Printf(", %d records dropped beyond the %v skew tolerance", d, cfg.MaxSkew)
 	}
 	fmt.Println()
-	return n, nil
+	if ckpt != nil {
+		fmt.Printf("final checkpoint: %s (%d bytes)\n", ckpt.SnapshotPath, ckpt.SnapshotBytes)
+	}
+	return n, ckpt, nil
 }
 
 // runReport is the JSON document -metrics emits: trace metadata plus the
@@ -344,10 +453,22 @@ type runReport struct {
 	Format         string                   `json:"format"`
 	Records        int                      `json:"records"`
 	ElapsedSeconds float64                  `json:"elapsed_seconds"`
+	Checkpoint     *checkpointReport        `json:"checkpoint,omitempty"`
 	Metrics        plotters.MetricsSnapshot `json:"metrics"`
 }
 
-func writeReport(path, trace, format string, records int, elapsed time.Duration, reg *plotters.Metrics) error {
+// checkpointReport records the durable-state outcome of a -state-dir
+// run: what was recovered on the way in and the final checkpoint
+// committed on the way out.
+type checkpointReport struct {
+	StateDir        string `json:"state_dir"`
+	SnapshotPath    string `json:"snapshot_path"`
+	SnapshotBytes   int64  `json:"snapshot_bytes"`
+	SnapshotLoaded  bool   `json:"snapshot_loaded"`
+	ReplayedRecords int    `json:"replayed_records"`
+}
+
+func writeReport(path, trace, format string, records int, elapsed time.Duration, reg *plotters.Metrics, ckpt *checkpointReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -358,6 +479,7 @@ func writeReport(path, trace, format string, records int, elapsed time.Duration,
 		Format:         format,
 		Records:        records,
 		ElapsedSeconds: elapsed.Seconds(),
+		Checkpoint:     ckpt,
 		Metrics:        reg.TakeSnapshot(),
 	}
 	enc := json.NewEncoder(f)

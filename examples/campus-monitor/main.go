@@ -8,7 +8,10 @@
 // dataset it binds a UDP socket, ingests NetFlow exports from real (or
 // flowreplay'd) exporters into the windowed engine, and escalates hosts
 // flagged across successive detection windows. Stop with Ctrl-C to get
-// the repeat-offender summary.
+// the repeat-offender summary. Add -state-dir to make the live monitor
+// crash-safe: detection state is checkpointed continuously and a
+// restart resumes mid-window instead of forgetting every host the
+// previous process had profiled.
 package main
 
 import (
@@ -40,10 +43,14 @@ func run() error {
 		window    = flag.Duration("window", 6*time.Hour, "detection window length for -listen mode")
 		skew      = flag.Duration("skew", 5*time.Minute, "out-of-order tolerance for -listen mode")
 		internals = flag.String("internal", "128.2.0.0/16,128.237.0.0/16", "comma-separated internal CIDR prefixes for -listen mode")
+		stateDir  = flag.String("state-dir", "", "durable-state directory for -listen mode; a restart resumes from the last checkpoint")
 	)
 	flag.Parse()
 	if *listen != "" {
-		return runLive(*listen, *window, *skew, *internals)
+		return runLive(*listen, *window, *skew, *internals, *stateDir)
+	}
+	if *stateDir != "" {
+		return fmt.Errorf("-state-dir requires -listen (the synthetic run is deterministic; re-run it instead)")
 	}
 	return runSynthetic()
 }
@@ -114,7 +121,14 @@ func runSynthetic() error {
 // repeat offenders accumulate across windows instead of days. There is
 // no ground truth on a live network — the repeat count is what the
 // operator triages.
-func runLive(addr string, window, skew time.Duration, internals string) error {
+//
+// With a state directory, detection state survives crashes: records
+// are write-ahead logged, the engine is checkpointed every minute, and
+// a restart recovers the previous process's windows mid-flight. Note
+// the offender tallies re-count windows that recovery re-emits
+// (at-least-once delivery) — the checkpointed truth is the engine
+// state; the tallies are a per-process view.
+func runLive(addr string, window, skew time.Duration, internals, stateDir string) error {
 	internal, err := parseSubnets(internals)
 	if err != nil {
 		return err
@@ -126,11 +140,16 @@ func runLive(addr string, window, skew time.Duration, internals string) error {
 		MaxSkew:  skew,
 		Internal: internal,
 		DropLate: true, // live sockets cannot replay the past
+		StateDir: stateDir,
 		Core:     plotters.DefaultConfig(),
 	}, func(res *plotters.WindowResult) error {
 		windows++
-		fmt.Printf("window %d %s: %d hosts, %d suspects\n",
-			res.Index, res.Window, res.Hosts, len(res.Detection.Suspects))
+		partial := ""
+		if res.Partial {
+			partial = " (partial)"
+		}
+		fmt.Printf("window %d %s%s: %d hosts, %d suspects\n",
+			res.Index, res.Window, partial, res.Hosts, len(res.Detection.Suspects))
 		for host := range res.Detection.Suspects {
 			flaggedWindows[host]++
 		}
@@ -140,6 +159,20 @@ func runLive(addr string, window, skew time.Duration, internals string) error {
 		return err
 	}
 
+	var mgr *plotters.CheckpointManager
+	add := eng.Add
+	if stateDir != "" {
+		mgr, err = plotters.NewCheckpointManager(plotters.CheckpointConfig{
+			Interval:  time.Minute,
+			SyncEvery: 256, // batch fsyncs: don't gate UDP ingest on disk latency
+		}, eng)
+		if err != nil {
+			return err
+		}
+		defer mgr.Close()
+		add = mgr.Add
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	col, err := plotters.ListenNetFlow(plotters.CollectorConfig{
@@ -147,18 +180,39 @@ func runLive(addr string, window, skew time.Duration, internals string) error {
 		Workers: 1, // preserve arrival order into the engine
 		Handler: func(records []plotters.Record) {
 			for i := range records {
-				_ = eng.Add(&records[i]) // DropLate: skew drops are counted, not fatal
+				_ = add(&records[i]) // DropLate: skew drops are counted, not fatal
 			}
 		},
 	})
 	if err != nil {
 		return err
 	}
+	if mgr != nil {
+		mgr.AttachCollector(col)
+		info, err := mgr.Recover()
+		if err != nil {
+			return err
+		}
+		if info.SnapshotLoaded || info.Replayed > 0 {
+			fmt.Printf("resumed from %s: snapshot loaded=%v, %d records replayed\n",
+				stateDir, info.SnapshotLoaded, info.Replayed)
+		}
+		col.RestoreSequenceStates(info.Exporters)
+		go mgr.Run(ctx)
+	}
 	fmt.Printf("monitoring NetFlow exports on %s (Ctrl-C for the summary)\n", col.Addr())
 	if err := col.Run(ctx); err != nil {
 		return err
 	}
-	if err := eng.Flush(); err != nil {
+	if mgr != nil {
+		if err := mgr.Flush(); err != nil {
+			return err
+		}
+		if err := mgr.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("state checkpointed to %s; restart with the same flags to resume\n", stateDir)
+	} else if err := eng.Flush(); err != nil {
 		return err
 	}
 	if d := eng.Dropped(); d > 0 {

@@ -1,0 +1,165 @@
+package checkpoint_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"plotters/internal/checkpoint"
+	"plotters/internal/core"
+	"plotters/internal/engine"
+	"plotters/internal/flow"
+)
+
+// benchShards keeps the synthetic state restorable into a small, fixed
+// engine regardless of the benchmark host's CPU count.
+const benchShards = 8
+
+// benchEngineConfig matches the synthetic state built below.
+func benchEngineConfig() engine.Config {
+	return engine.Config{
+		Window: 6 * time.Hour,
+		Shards: benchShards,
+		Core:   core.DefaultConfig(),
+	}
+}
+
+// syntheticState builds a checkpoint-shaped engine state for the given
+// campus size directly — 10k hosts mid-window, each with realistic
+// table sizes (tens of peers, tens of interstitial samples) — without
+// paying for feature extraction over millions of records first.
+func syntheticState(hosts int) *engine.State {
+	rng := rand.New(rand.NewSource(123))
+	base := time.Date(2007, 11, 5, 9, 0, 0, 0, time.UTC)
+	st := &engine.State{
+		Started:  true,
+		Origin:   base,
+		Frontier: base.Add(3 * time.Hour),
+		PaneIdx:  0,
+		Store:    &flow.ShardedState{Shards: make([]flow.StreamState, benchShards)},
+	}
+	for s := range st.Store.Shards {
+		sh := &st.Store.Shards[s]
+		sh.First = base
+		sh.Frontier = st.Frontier
+		sh.Released = base
+	}
+	for h := 0; h < hosts; h++ {
+		ip := flow.IP(0x0a000000 + uint32(h))
+		first := base.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		peers := 8 + rng.Intn(32)
+		hs := flow.HostState{
+			Feats: flow.HostFeatures{
+				Host:            ip,
+				Flows:           peers * 3,
+				SuccessfulFlows: peers * 2,
+				FailedFlows:     peers,
+				BytesUploaded:   uint64(rng.Intn(1 << 24)),
+				Peers:           peers,
+				NewPeers:        peers / 4,
+				FirstSeen:       first,
+				LastSeen:        first.Add(time.Hour),
+				Interstitials:   make([]float64, 24),
+			},
+			FirstContact: make([]flow.HostTime, peers),
+			LastStart:    make([]flow.HostTime, peers),
+		}
+		for i := range hs.Feats.Interstitials {
+			hs.Feats.Interstitials[i] = rng.Float64() * 300
+		}
+		for i := 0; i < peers; i++ {
+			dst := flow.IP(0xc0000000 + uint32(h*64+i))
+			at := first.Add(time.Duration(i) * time.Minute)
+			hs.FirstContact[i] = flow.HostTime{Host: dst, Time: at}
+			hs.LastStart[i] = flow.HostTime{Host: dst, Time: at.Add(30 * time.Minute)}
+		}
+		sh := &st.Store.Shards[int(ip)%benchShards]
+		sh.Hosts = append(sh.Hosts, hs)
+		sh.Count += hs.Feats.Flows
+	}
+	return st
+}
+
+func benchSnapshot() *checkpoint.Snapshot {
+	return &checkpoint.Snapshot{
+		Meta: checkpoint.Meta{
+			Created: time.Date(2007, 11, 5, 12, 0, 0, 0, time.UTC),
+			WALSeq:  1 << 20,
+			Window:  6 * time.Hour,
+			MaxSkew: 0,
+			Grace:   time.Hour,
+			Shards:  benchShards,
+		},
+		Engine: syntheticState(10_000),
+	}
+}
+
+// BenchmarkSnapshotEncode measures serializing a 10k-host campus
+// deployment — the work the periodic checkpointer does under the
+// ingest lock. The budget: well under one pane interval (minutes).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	snap := benchSnapshot()
+	data, err := checkpoint.Encode(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.Encode(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore measures the cold-start path: decode the
+// snapshot bytes and rebuild a live engine from them.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	data, err := checkpoint.Encode(benchSnapshot())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := checkpoint.Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := engine.New(benchEngineConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.RestoreState(snap.Engine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the per-record durability tax on the
+// ingest path (fsync batched out of the way; the OS write only).
+func BenchmarkWALAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), checkpoint.WALFile)
+	w, _, err := checkpoint.OpenWAL(path, 1<<30, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	base := time.Date(2007, 11, 5, 9, 0, 0, 0, time.UTC)
+	rec := flow.Record{
+		Src: 1, Dst: 2, SrcPort: 4000, DstPort: 80, Proto: flow.TCP,
+		Start: base, End: base.Add(time.Second),
+		SrcPkts: 3, DstPkts: 2, SrcBytes: 1200, DstBytes: 300,
+		State: flow.StateEstablished,
+	}
+	b.SetBytes(71) // frame header + fixed record encoding
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Start = base.Add(time.Duration(i) * time.Millisecond)
+		rec.End = rec.Start.Add(time.Second)
+		if _, err := w.Append(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

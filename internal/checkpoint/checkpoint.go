@@ -1,0 +1,532 @@
+// Package checkpoint persists the live detection pipeline's state so a
+// crashed or restarted process resumes exactly where it stopped. Two
+// artifacts cooperate:
+//
+//   - a snapshot: one versioned binary file holding a complete
+//     engine.State (window bookkeeping, sharded feature store, pane
+//     ring), the collector's per-exporter sequence state, and a
+//     metadata section that pins the configuration the state depends
+//     on. Snapshots commit atomically (write temp, fsync, rename).
+//   - a write-ahead log: every record appended to the engine is first
+//     framed into the WAL. Recovery restores the newest snapshot and
+//     replays the frames past it, so the rebuilt engine has seen the
+//     exact record sequence the dead one had — windows seal on the
+//     same boundaries with the same contents, bit for bit.
+//
+// The format is deliberately paranoid about its inputs: every section
+// carries a CRC32, every count is validated before allocation, and an
+// unknown version or section id is a descriptive error, never a guess.
+// A corrupt or half-written file must cost an error message, not a
+// silently wrong detector.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"plotters/internal/collector"
+	"plotters/internal/engine"
+	"plotters/internal/flow"
+	"plotters/internal/flowio"
+)
+
+// snapshotMagic identifies a snapshot file; the version that follows it
+// is bumped on any layout change.
+var snapshotMagic = [4]byte{'P', 'C', 'K', 'P'}
+
+const snapshotVersion = 1
+
+// Section ids. New sections get new ids; readers reject ids they do not
+// know rather than skip them, because every section written today is
+// load-bearing for bit-identical recovery and a future section will be
+// too.
+const (
+	secMeta      = 1
+	secEngine    = 2
+	secExporters = 3
+)
+
+// Minimum encoded sizes, used to bound allocations when decoding
+// element counts (see decoder.count).
+const (
+	minHostTime    = 4 + 9               // address + flagged time
+	minHostState   = 4 + 6*8 + 2*9 + 3*4 // host, six counters, two times, three counts
+	minStreamState = 3*9 + 8 + 8 + 3*4   // three times, count, seq, three counts
+	minPending     = 55 + 8              // record header + seq
+	minExporter    = 2 + 2 + 2*(1+4)     // name len, engine, two seen/next pairs
+)
+
+// ErrNotSnapshot is returned when a file does not begin with the
+// snapshot magic.
+var ErrNotSnapshot = errors.New("checkpoint: not a checkpoint snapshot (bad magic)")
+
+// Meta pins everything a snapshot's state silently depends on: when and
+// at which WAL position it was taken, and the configuration fingerprint
+// (window geometry, skew, shard count, churn grace, feature flags) that
+// must match the restoring engine. Restoring under a different
+// configuration would not fail loudly on its own — features would just
+// accumulate differently — so RestoreEngine checks every field.
+type Meta struct {
+	// Created is when the snapshot was taken.
+	Created time.Time
+	// WALSeq is the last WAL sequence number whose record is already
+	// reflected in the snapshotted state. Recovery replays only frames
+	// with greater sequence numbers, which makes a crash between
+	// snapshot commit and WAL rotation harmless.
+	WALSeq uint64
+	// Window, Slide, MaxSkew, Grace, Shards, CarryFirstSeen, and
+	// DropLate fingerprint the engine configuration. Shards is the
+	// resolved count (never 0): the shard hash is deterministic, so an
+	// equal count restores every host to the shard that accumulated it.
+	Window         time.Duration
+	Slide          time.Duration
+	MaxSkew        time.Duration
+	Grace          time.Duration
+	Shards         int
+	CarryFirstSeen bool
+	DropLate       bool
+}
+
+// Snapshot is the decoded form of one checkpoint file.
+type Snapshot struct {
+	Meta Meta
+	// Engine is the complete detector state.
+	Engine *engine.State
+	// Exporters is the collector's per-exporter sequence accounting
+	// (empty when no collector is attached).
+	Exporters []collector.SequenceState
+}
+
+// EngineMeta derives the configuration fingerprint of a live engine —
+// the Meta fields a snapshot of it would carry (Created and WALSeq are
+// zero; the caller stamps those).
+func EngineMeta(eng *engine.WindowedDetector) Meta {
+	cfg := eng.Config()
+	grace := cfg.Core.NewPeerGrace
+	if grace <= 0 {
+		grace = flow.DefaultNewPeerGrace
+	}
+	return Meta{
+		Window:         cfg.Window,
+		Slide:          cfg.Slide,
+		MaxSkew:        cfg.MaxSkew,
+		Grace:          grace,
+		Shards:         eng.Store().Shards(),
+		CarryFirstSeen: cfg.CarryFirstSeen,
+		DropLate:       cfg.DropLate,
+	}
+}
+
+// checkCompatible compares the snapshot fingerprint m against a live
+// engine's, naming the first mismatched knob.
+func (m Meta) checkCompatible(cur Meta) error {
+	mismatches := []struct {
+		name      string
+		snap, now any
+	}{
+		{"window", m.Window, cur.Window},
+		{"slide", m.Slide, cur.Slide},
+		{"max-skew", m.MaxSkew, cur.MaxSkew},
+		{"new-peer grace", m.Grace, cur.Grace},
+		{"shard count", m.Shards, cur.Shards},
+		{"carry-first-seen", m.CarryFirstSeen, cur.CarryFirstSeen},
+		{"drop-late", m.DropLate, cur.DropLate},
+	}
+	for _, f := range mismatches {
+		if f.snap != f.now {
+			return fmt.Errorf("checkpoint: snapshot was taken with %s %v but this engine is configured with %v — restore requires the snapshotted configuration",
+				f.name, f.snap, f.now)
+		}
+	}
+	return nil
+}
+
+// RestoreEngine verifies the snapshot's configuration fingerprint
+// against eng and restores its state. eng must be freshly constructed.
+func (s *Snapshot) RestoreEngine(eng *engine.WindowedDetector) error {
+	if s.Engine == nil {
+		return fmt.Errorf("checkpoint: snapshot carries no engine state")
+	}
+	if err := s.Meta.checkCompatible(EngineMeta(eng)); err != nil {
+		return err
+	}
+	return eng.RestoreState(s.Engine)
+}
+
+// Encode serializes the snapshot: magic, version, then framed sections
+// (id, length, payload, CRC32 of the payload).
+func Encode(s *Snapshot) ([]byte, error) {
+	if s.Engine == nil || s.Engine.Store == nil {
+		return nil, fmt.Errorf("checkpoint: refusing to encode a snapshot without engine store state")
+	}
+	var e encoder
+	e.b = append(e.b, snapshotMagic[:]...)
+	e.u16(snapshotVersion)
+	appendSection(&e, secMeta, encodeMeta(s.Meta))
+	appendSection(&e, secEngine, encodeEngineState(s.Engine))
+	if len(s.Exporters) > 0 {
+		appendSection(&e, secExporters, encodeExporters(s.Exporters))
+	}
+	return e.b, nil
+}
+
+func appendSection(e *encoder, id uint16, payload []byte) {
+	e.u16(id)
+	e.u32(uint32(len(payload)))
+	e.b = append(e.b, payload...)
+	e.u32(crc32.ChecksumIEEE(payload))
+}
+
+// Decode parses a snapshot produced by Encode. Any deviation — wrong
+// magic, a version or section id from a future build, a failed CRC, a
+// truncation, an implausible count — is an error; Decode never returns
+// a partially populated snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	d := &decoder{b: data}
+	magic := d.take(4)
+	if d.err != nil || string(magic) != string(snapshotMagic[:]) {
+		return nil, ErrNotSnapshot
+	}
+	version := d.u16()
+	if d.err != nil {
+		return nil, fmt.Errorf("checkpoint: snapshot truncated before version field")
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("checkpoint: snapshot version %d is not supported by this build (understands up to %d) — refusing to guess at its layout",
+			version, snapshotVersion)
+	}
+	snap := &Snapshot{}
+	seen := make(map[uint16]bool)
+	for d.remaining() > 0 {
+		id := d.u16()
+		n := int(d.u32())
+		payload := d.take(n)
+		crc := d.u32()
+		if d.err != nil {
+			return nil, fmt.Errorf("checkpoint: snapshot truncated inside section frame: %w", d.err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, fmt.Errorf("checkpoint: section %d failed its CRC check — the snapshot is corrupt", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("checkpoint: duplicate section %d", id)
+		}
+		seen[id] = true
+		sd := &decoder{b: payload}
+		switch id {
+		case secMeta:
+			snap.Meta = decodeMeta(sd)
+		case secEngine:
+			snap.Engine = decodeEngineState(sd)
+		case secExporters:
+			snap.Exporters = decodeExporters(sd)
+		default:
+			return nil, fmt.Errorf("checkpoint: unknown section id %d — the snapshot was written by a newer build and this one cannot load it without losing state",
+				id)
+		}
+		if sd.err != nil {
+			return nil, fmt.Errorf("checkpoint: section %d: %w", id, sd.err)
+		}
+		if sd.remaining() != 0 {
+			return nil, fmt.Errorf("checkpoint: section %d carries %d undecoded trailing bytes", id, sd.remaining())
+		}
+	}
+	if !seen[secMeta] || !seen[secEngine] {
+		return nil, fmt.Errorf("checkpoint: snapshot is missing required sections (meta and engine state)")
+	}
+	return snap, nil
+}
+
+// Write encodes the snapshot and commits it to path atomically: the
+// bytes go to a temporary file in the same directory, are fsynced,
+// and replace path with a rename; the directory is then fsynced so
+// the rename itself is durable. A reader (or a crash) never observes
+// a half-written snapshot. Returns the encoded size.
+func Write(path string, s *Snapshot) (int64, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return 0, err
+	}
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: creating snapshot temp file: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: closing snapshot temp file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: committing snapshot: %w", err)
+	}
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+	return int64(len(data)), nil
+}
+
+// Read loads and decodes the snapshot at path.
+func Read(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// --- section codecs ---
+
+func encodeMeta(m Meta) []byte {
+	var e encoder
+	e.time(m.Created)
+	e.u64(m.WALSeq)
+	e.dur(m.Window)
+	e.dur(m.Slide)
+	e.dur(m.MaxSkew)
+	e.dur(m.Grace)
+	e.u32(uint32(m.Shards))
+	e.bool(m.CarryFirstSeen)
+	e.bool(m.DropLate)
+	return e.b
+}
+
+func decodeMeta(d *decoder) Meta {
+	return Meta{
+		Created:        d.time(),
+		WALSeq:         d.u64(),
+		Window:         d.dur(),
+		Slide:          d.dur(),
+		MaxSkew:        d.dur(),
+		Grace:          d.dur(),
+		Shards:         int(d.u32()),
+		CarryFirstSeen: d.bool(),
+		DropLate:       d.bool(),
+	}
+}
+
+func encodeEngineState(st *engine.State) []byte {
+	var e encoder
+	e.bool(st.Started)
+	e.time(st.Origin)
+	e.time(st.Frontier)
+	e.i64(int64(st.PaneIdx))
+	e.i64(int64(st.Emitted))
+	e.i64(int64(st.Dropped))
+	e.u32(uint32(len(st.Store.Shards)))
+	for i := range st.Store.Shards {
+		encodeStreamState(&e, &st.Store.Shards[i])
+	}
+	e.u32(uint32(len(st.Recent)))
+	for _, ps := range st.Recent {
+		if ps == nil {
+			e.bool(false)
+			continue
+		}
+		e.bool(true)
+		e.time(ps.Window.From)
+		e.time(ps.Window.To)
+		encodeHostList(&e, ps.Hosts)
+	}
+	return e.b
+}
+
+func decodeEngineState(d *decoder) *engine.State {
+	st := &engine.State{
+		Started:  d.bool(),
+		Origin:   d.time(),
+		Frontier: d.time(),
+		PaneIdx:  int(d.i64()),
+		Emitted:  int(d.i64()),
+		Dropped:  int(d.i64()),
+	}
+	shards := d.count(minStreamState)
+	store := &flow.ShardedState{Shards: make([]flow.StreamState, shards)}
+	for i := range store.Shards {
+		decodeStreamState(d, &store.Shards[i])
+		if d.err != nil {
+			return st
+		}
+	}
+	st.Store = store
+	recent := d.count(1)
+	for i := 0; i < recent && d.err == nil; i++ {
+		if !d.bool() {
+			st.Recent = append(st.Recent, nil)
+			continue
+		}
+		ps := &flow.PaneState{}
+		ps.Window.From = d.time()
+		ps.Window.To = d.time()
+		ps.Hosts = decodeHostList(d)
+		st.Recent = append(st.Recent, ps)
+	}
+	return st
+}
+
+func encodeStreamState(e *encoder, st *flow.StreamState) {
+	e.time(st.First)
+	e.time(st.Frontier)
+	e.time(st.Released)
+	e.i64(int64(st.Count))
+	e.u64(st.Seq)
+	encodeHostList(e, st.Hosts)
+	encodeHostTimes(e, st.Anchors)
+	e.u32(uint32(len(st.Pending)))
+	for i := range st.Pending {
+		e.b = flowio.AppendRecord(e.b, &st.Pending[i].Rec)
+		e.u64(st.Pending[i].Seq)
+	}
+}
+
+func decodeStreamState(d *decoder, st *flow.StreamState) {
+	st.First = d.time()
+	st.Frontier = d.time()
+	st.Released = d.time()
+	st.Count = int(d.i64())
+	st.Seq = d.u64()
+	st.Hosts = decodeHostList(d)
+	st.Anchors = decodeHostTimes(d)
+	pending := d.count(minPending)
+	if d.err != nil || pending == 0 {
+		return
+	}
+	st.Pending = make([]flow.PendingState, pending)
+	for i := range st.Pending {
+		if d.err != nil {
+			return
+		}
+		rec, used, err := flowio.DecodeRecord(d.b)
+		if err != nil {
+			d.fail("checkpoint: pending record %d: %v", i, err)
+			return
+		}
+		d.b = d.b[used:]
+		st.Pending[i] = flow.PendingState{Rec: rec, Seq: d.u64()}
+	}
+}
+
+func encodeHostList(e *encoder, hosts []flow.HostState) {
+	e.u32(uint32(len(hosts)))
+	for i := range hosts {
+		h := &hosts[i]
+		f := &h.Feats
+		e.u32(uint32(f.Host))
+		e.i64(int64(f.Flows))
+		e.i64(int64(f.SuccessfulFlows))
+		e.i64(int64(f.FailedFlows))
+		e.u64(f.BytesUploaded)
+		e.i64(int64(f.Peers))
+		e.i64(int64(f.NewPeers))
+		e.time(f.FirstSeen)
+		e.time(f.LastSeen)
+		e.u32(uint32(len(f.Interstitials)))
+		for _, v := range f.Interstitials {
+			e.f64(v)
+		}
+		encodeHostTimes(e, h.FirstContact)
+		encodeHostTimes(e, h.LastStart)
+	}
+}
+
+func decodeHostList(d *decoder) []flow.HostState {
+	n := d.count(minHostState)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]flow.HostState, n)
+	for i := range out {
+		h := &out[i]
+		f := &h.Feats
+		f.Host = flow.IP(d.u32())
+		f.Flows = int(d.i64())
+		f.SuccessfulFlows = int(d.i64())
+		f.FailedFlows = int(d.i64())
+		f.BytesUploaded = d.u64()
+		f.Peers = int(d.i64())
+		f.NewPeers = int(d.i64())
+		f.FirstSeen = d.time()
+		f.LastSeen = d.time()
+		if k := d.count(8); k > 0 {
+			f.Interstitials = make([]float64, k)
+			for j := range f.Interstitials {
+				f.Interstitials[j] = d.f64()
+			}
+		}
+		h.FirstContact = decodeHostTimes(d)
+		h.LastStart = decodeHostTimes(d)
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+func encodeHostTimes(e *encoder, hts []flow.HostTime) {
+	e.u32(uint32(len(hts)))
+	for _, ht := range hts {
+		e.u32(uint32(ht.Host))
+		e.time(ht.Time)
+	}
+}
+
+func decodeHostTimes(d *decoder) []flow.HostTime {
+	n := d.count(minHostTime)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]flow.HostTime, n)
+	for i := range out {
+		out[i] = flow.HostTime{Host: flow.IP(d.u32()), Time: d.time()}
+	}
+	return out
+}
+
+func encodeExporters(xs []collector.SequenceState) []byte {
+	var e encoder
+	e.u32(uint32(len(xs)))
+	for _, x := range xs {
+		e.str(x.Exporter)
+		e.u16(x.Engine)
+		e.bool(x.V5Seen)
+		e.u32(x.V5Next)
+		e.bool(x.V9Seen)
+		e.u32(x.V9Next)
+	}
+	return e.b
+}
+
+func decodeExporters(d *decoder) []collector.SequenceState {
+	n := d.count(minExporter)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]collector.SequenceState, n)
+	for i := range out {
+		out[i] = collector.SequenceState{
+			Exporter: d.str(),
+			Engine:   d.u16(),
+			V5Seen:   d.bool(),
+			V5Next:   d.u32(),
+			V9Seen:   d.bool(),
+			V9Next:   d.u32(),
+		}
+	}
+	return out
+}

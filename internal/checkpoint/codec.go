@@ -1,0 +1,160 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Low-level little-endian primitives shared by the snapshot and WAL
+// codecs. The encoder appends to a byte slice; the decoder consumes one
+// with a sticky error, so section codecs read field after field and
+// check once at the end. Every count the decoder reads is validated
+// against the bytes remaining before anything is allocated — a
+// bit-flipped length in a hostile or corrupt file must cost an error,
+// never memory.
+
+type encoder struct {
+	b []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// time encodes a timestamp as a zero flag plus UnixNano: the zero
+// time.Time is not representable as a nanosecond count, and the state
+// structs use it as a meaningful "never" sentinel.
+func (e *encoder) time(t time.Time) {
+	if t.IsZero() {
+		e.u8(0)
+		e.i64(0)
+		return
+	}
+	e.u8(1)
+	e.i64(t.UnixNano())
+}
+
+func (e *encoder) dur(d time.Duration) { e.i64(int64(d)) }
+
+func (e *encoder) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// take consumes n bytes, failing on underrun.
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.fail("checkpoint: truncated: need %d bytes, have %d", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64     { return int64(d.u64()) }
+func (d *decoder) f64() float64   { return math.Float64frombits(d.u64()) }
+func (d *decoder) bool() bool     { return d.u8() != 0 }
+func (d *decoder) remaining() int { return len(d.b) }
+
+func (d *decoder) time() time.Time {
+	set := d.u8()
+	ns := d.i64()
+	if d.err != nil || set == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+func (d *decoder) dur() time.Duration { return time.Duration(d.i64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a u32 element count and validates it against the bytes
+// remaining, given the minimum encoded size of one element. The
+// returned count is safe to allocate for.
+func (d *decoder) count(minElem int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if minElem < 1 {
+		minElem = 1
+	}
+	if n < 0 || n > len(d.b)/minElem {
+		d.fail("checkpoint: implausible element count %d for %d remaining bytes", n, len(d.b))
+		return 0
+	}
+	return n
+}

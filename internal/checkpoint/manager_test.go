@@ -1,0 +1,309 @@
+package checkpoint_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"plotters/internal/checkpoint"
+	"plotters/internal/engine"
+	"plotters/internal/flow"
+	"plotters/internal/metrics"
+)
+
+func managerConfig(dir string, reg *metrics.Registry) checkpoint.Config {
+	return checkpoint.Config{Dir: dir, Metrics: reg, Now: func() time.Time { return baseTime() }}
+}
+
+// mergeByIndex layers re-emitted windows (recovery's at-least-once
+// delivery) over the originals, verifying duplicates are identical.
+func mergeByIndex(t *testing.T, runs ...[]windowKey) []windowKey {
+	t.Helper()
+	byIndex := map[int]windowKey{}
+	var order []int
+	for _, run := range runs {
+		for _, w := range run {
+			if prev, ok := byIndex[w.Index]; ok {
+				if prev != w {
+					t.Fatalf("window %d re-emitted with different content:\nfirst  %+v\nsecond %+v", w.Index, prev, w)
+				}
+				continue
+			}
+			byIndex[w.Index] = w
+			order = append(order, w.Index)
+		}
+	}
+	out := make([]windowKey, 0, len(order))
+	for _, i := range order {
+		out = append(out, byIndex[i])
+	}
+	return out
+}
+
+// The crash-recovery contract, end to end in one process: run a stream
+// through a managed engine, checkpoint mid-stream, keep going, then
+// "kill" the process (abandon manager and engine without any shutdown
+// courtesy), recover into a fresh engine, finish the stream, and
+// compare every emitted window against an uninterrupted run.
+func TestManagerKillAndResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	records := synthStream(rng, baseTime(), 4*time.Hour)
+
+	var want []windowKey
+	ref := newTestEngine(t, &want)
+	for i := range records {
+		if err := ref.Add(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	checkpointAt := len(records) / 3
+	for _, killAt := range []int{checkpointAt, checkpointAt + 1, len(records) / 2, len(records) - 1} {
+		t.Run(fmt.Sprintf("killAt%d", killAt), func(t *testing.T) {
+			dir := t.TempDir()
+
+			// First life: ingest to killAt, checkpoint partway through.
+			var before []windowKey
+			eng1 := newTestEngine(t, &before)
+			m1, err := checkpoint.NewManager(managerConfig(dir, nil), eng1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m1.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < killAt; i++ {
+				if err := m1.Add(&records[i]); err != nil {
+					t.Fatal(err)
+				}
+				if i == checkpointAt-1 {
+					if err := m1.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Kill: no Flush, no final Checkpoint, no Close. The WAL
+			// syncs every append, so everything the engine saw is on
+			// disk.
+
+			// Second life: fresh engine, recover, finish the stream.
+			var after []windowKey
+			eng2 := newTestEngine(t, &after)
+			m2, err := checkpoint.NewManager(managerConfig(dir, nil), eng2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := m2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.SnapshotLoaded {
+				t.Fatal("recovery found no snapshot")
+			}
+			if wantReplay := killAt - checkpointAt; info.Replayed != wantReplay {
+				t.Fatalf("replayed %d records, want %d", info.Replayed, wantReplay)
+			}
+			if eng2.Windows() != eng1.Windows() || eng2.Dropped() != eng1.Dropped() {
+				t.Fatalf("recovered counters differ: windows %d/%d dropped %d/%d",
+					eng2.Windows(), eng1.Windows(), eng2.Dropped(), eng1.Dropped())
+			}
+			for i := killAt; i < len(records); i++ {
+				if err := m2.Add(&records[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			got := mergeByIndex(t, before, after)
+			if len(got) != len(want) {
+				t.Fatalf("emitted %d distinct windows, want %d\ngot  %+v\nwant %+v", len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("window %d diverged after recovery:\ngot  %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// Recovery must also survive a torn WAL tail: the half-written frame is
+// dropped, and re-adding that record continues cleanly.
+func TestManagerRecoverTornWAL(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	records := synthStream(rng, baseTime(), time.Hour)
+	dir := t.TempDir()
+
+	eng1 := newTestEngine(t, nil)
+	m1, err := checkpoint.NewManager(managerConfig(dir, nil), eng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	cut := len(records) / 2
+	for i := 0; i < cut; i++ {
+		if err := m1.Add(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the last frame in half.
+	wal := filepath.Join(dir, checkpoint.WALFile)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := newTestEngine(t, nil)
+	m2, err := checkpoint.NewManager(managerConfig(dir, nil), eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !info.WALTorn {
+		t.Fatal("torn WAL not reported")
+	}
+	if info.Replayed != cut-1 {
+		t.Fatalf("replayed %d, want %d (torn frame dropped)", info.Replayed, cut-1)
+	}
+	// The torn record and the rest of the stream go back in cleanly.
+	for i := cut - 1; i < len(records); i++ {
+		if err := m2.Add(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A manager must refuse to recover a snapshot into an engine with a
+// different configuration, naming the mismatched knob.
+func TestManagerRecoverConfigMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	records := synthStream(rng, baseTime(), time.Hour)
+	dir := t.TempDir()
+
+	eng1 := newTestEngine(t, nil)
+	m1, err := checkpoint.NewManager(managerConfig(dir, nil), eng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if err := m1.Add(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testEngineConfig()
+	cfg.CarryFirstSeen = false
+	eng2, err := engine.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := checkpoint.NewManager(managerConfig(dir, nil), eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m2.Recover()
+	if err == nil {
+		t.Fatal("recovery under a different configuration did not fail")
+	}
+	if !strings.Contains(err.Error(), "carry-first-seen") {
+		t.Fatalf("mismatch error %q does not name the knob", err)
+	}
+}
+
+// Ordering guards: ingest before recovery is a bug, as is recovering
+// twice.
+func TestManagerOrderingGuards(t *testing.T) {
+	eng := newTestEngine(t, nil)
+	m, err := checkpoint.NewManager(managerConfig(t.TempDir(), nil), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flow.Record{Src: 1, Dst: 2, Proto: flow.TCP, Start: baseTime(), End: baseTime().Add(time.Second), State: flow.StateEstablished}
+	if err := m.Add(&rec); err == nil {
+		t.Fatal("Add before Recover did not fail")
+	}
+	if err := m.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint before Recover did not fail")
+	}
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Recover(); err == nil {
+		t.Fatal("second Recover did not fail")
+	}
+}
+
+// A managed run must populate the full checkpoint/... instrument set.
+func TestManagerMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	records := synthStream(rng, baseTime(), time.Hour)
+	reg := metrics.New()
+	eng := newTestEngine(t, nil)
+	m, err := checkpoint.NewManager(managerConfig(t.TempDir(), reg), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if err := m.Add(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("checkpoint/wal_appends").Value(); got != int64(len(records)) {
+		t.Errorf("wal_appends = %d, want %d", got, len(records))
+	}
+	if reg.Counter("checkpoint/wal_bytes").Value() == 0 {
+		t.Error("wal_bytes not counted")
+	}
+	if got := reg.Counter("checkpoint/snapshots").Value(); got != 1 {
+		t.Errorf("snapshots = %d, want 1", got)
+	}
+	if reg.Gauge("checkpoint/snapshot_bytes").Value() == 0 {
+		t.Error("snapshot_bytes gauge not set")
+	}
+	if reg.Histogram("checkpoint/snapshot_duration").Count() != 1 {
+		t.Error("snapshot_duration not observed")
+	}
+}

@@ -1,0 +1,274 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"plotters/internal/flow"
+	"plotters/internal/flowio"
+)
+
+// The write-ahead log is a single append-only file:
+//
+//	header: magic "PWAL", u16 version, u64 baseSeq
+//	frames: u32 crc, u64 seq, u32 len, payload (one binary flow record)
+//
+// The CRC covers seq, len, and payload. Sequence numbers start at
+// baseSeq+1 and increment by one per frame; baseSeq is the last
+// sequence number already covered by a snapshot, rewritten when the
+// log rotates after a checkpoint. Recovery tolerates exactly one kind
+// of damage silently: a torn tail — a final frame the process did not
+// finish writing before dying, which is truncated away. Everything
+// else (bad CRC, out-of-order sequence, undecodable record) is an
+// error, because it means bytes that were once durable changed.
+
+var walMagic = [4]byte{'P', 'W', 'A', 'L'}
+
+const (
+	walVersion     = 1
+	walHeaderSize  = 4 + 2 + 8 // magic, version, baseSeq
+	walFrameHeader = 4 + 8 + 4 // crc, seq, len
+	walMaxFrameLen = 4096      // far above any encoded record; larger lengths are torn/garbage
+)
+
+// ErrNotWAL is returned when a file does not begin with the WAL magic.
+var ErrNotWAL = errors.New("checkpoint: not a checkpoint WAL (bad magic)")
+
+// ReplayInfo summarizes one WAL scan.
+type ReplayInfo struct {
+	// BaseSeq is the header's base sequence number: frames at or below
+	// it are already covered by a snapshot.
+	BaseSeq uint64
+	// Frames is the number of intact frames scanned.
+	Frames int
+	// LastSeq is the sequence number of the last intact frame (BaseSeq
+	// when the log holds none).
+	LastSeq uint64
+	// Torn reports that the file ended mid-frame — the expected
+	// artifact of a crash during an append. The torn tail carries no
+	// complete record and is truncated when the log is reopened.
+	Torn bool
+}
+
+// scanWAL walks data, invoking fn for every intact frame, and returns
+// the scan summary plus the length of the valid prefix (header and
+// complete frames). A header shorter than walHeaderSize is reported as
+// torn with a zero valid length — the crash hit the log's creation.
+func scanWAL(data []byte, fn func(seq uint64, rec *flow.Record) error) (ReplayInfo, int, error) {
+	var info ReplayInfo
+	if len(data) == 0 {
+		return info, 0, nil
+	}
+	if len(data) < walHeaderSize {
+		info.Torn = true
+		return info, 0, nil
+	}
+	if string(data[:4]) != string(walMagic[:]) {
+		return info, 0, ErrNotWAL
+	}
+	le := binary.LittleEndian
+	if v := le.Uint16(data[4:6]); v != walVersion {
+		return info, 0, fmt.Errorf("checkpoint: WAL version %d is not supported by this build (understands up to %d)", v, walVersion)
+	}
+	info.BaseSeq = le.Uint64(data[6:14])
+	info.LastSeq = info.BaseSeq
+	valid := walHeaderSize
+	rest := data[walHeaderSize:]
+	for len(rest) > 0 {
+		if len(rest) < walFrameHeader {
+			info.Torn = true
+			return info, valid, nil
+		}
+		crc := le.Uint32(rest[0:4])
+		seq := le.Uint64(rest[4:12])
+		n := int(le.Uint32(rest[12:16]))
+		if n > walMaxFrameLen || len(rest) < walFrameHeader+n {
+			info.Torn = true
+			return info, valid, nil
+		}
+		body := rest[4 : walFrameHeader+n]
+		if crc32.ChecksumIEEE(body) != crc {
+			return info, valid, fmt.Errorf("checkpoint: WAL frame after seq %d failed its CRC check — the log is corrupt", info.LastSeq)
+		}
+		if seq != info.LastSeq+1 {
+			return info, valid, fmt.Errorf("checkpoint: WAL sequence jumped from %d to %d — the log is corrupt", info.LastSeq, seq)
+		}
+		rec, used, err := flowio.DecodeRecord(rest[walFrameHeader : walFrameHeader+n])
+		if err != nil {
+			return info, valid, fmt.Errorf("checkpoint: WAL frame seq %d: %w", seq, err)
+		}
+		if used != n {
+			return info, valid, fmt.Errorf("checkpoint: WAL frame seq %d carries %d trailing bytes", seq, n-used)
+		}
+		if fn != nil {
+			if err := fn(seq, &rec); err != nil {
+				return info, valid, err
+			}
+		}
+		info.Frames++
+		info.LastSeq = seq
+		valid += walFrameHeader + n
+		rest = rest[walFrameHeader+n:]
+	}
+	return info, valid, nil
+}
+
+// ReplayWALBytes scans an in-memory WAL image, invoking fn per intact
+// frame. It is the pure core of recovery (OpenWAL uses it on the file's
+// contents) and the surface the fuzzer drives.
+func ReplayWALBytes(data []byte, fn func(seq uint64, rec *flow.Record) error) (ReplayInfo, error) {
+	info, _, err := scanWAL(data, fn)
+	return info, err
+}
+
+// WAL is an open write-ahead log. Not safe for concurrent use; the
+// Manager serializes access.
+type WAL struct {
+	f         *os.File
+	path      string
+	nextSeq   uint64
+	size      int64
+	syncEvery int
+	unsynced  int
+	buf       []byte
+}
+
+// OpenWAL opens (creating if absent) the log at path, replaying every
+// intact frame through replay before the log accepts appends. A torn
+// tail is truncated; CRC or sequence damage is a hard error. syncEvery
+// batches fsyncs: the file is synced every syncEvery appends (<= 1 =
+// every append).
+func OpenWAL(path string, syncEvery int, replay func(seq uint64, rec *flow.Record) error) (*WAL, ReplayInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, ReplayInfo{}, fmt.Errorf("checkpoint: reading WAL: %w", err)
+	}
+	info, valid, err := scanWAL(data, replay)
+	if err != nil {
+		return nil, info, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, info, fmt.Errorf("checkpoint: opening WAL: %w", err)
+	}
+	w := &WAL{f: f, path: path, nextSeq: info.LastSeq + 1, syncEvery: syncEvery}
+	if valid == 0 {
+		// Fresh file, or a creation the crash interrupted before the
+		// header was durable: start a clean log.
+		if err := w.reset(info.BaseSeq); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+		return w, info, nil
+	}
+	if info.Torn {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("checkpoint: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, info, fmt.Errorf("checkpoint: seeking WAL: %w", err)
+	}
+	w.size = int64(valid)
+	return w, info, nil
+}
+
+// reset rewrites the log as empty with the given base sequence.
+func (w *WAL) reset(baseSeq uint64) error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("checkpoint: truncating WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("checkpoint: seeking WAL: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:], walMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], walVersion)
+	binary.LittleEndian.PutUint64(hdr[6:14], baseSeq)
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: writing WAL header: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing WAL header: %w", err)
+	}
+	w.size = walHeaderSize
+	w.unsynced = 0
+	return nil
+}
+
+// Append frames one record into the log and returns its sequence
+// number. The record hits the OS immediately and the disk according to
+// the sync policy.
+func (w *WAL) Append(rec *flow.Record) (uint64, error) {
+	if err := rec.Validate(); err != nil {
+		return 0, fmt.Errorf("checkpoint: refusing to log invalid record: %w", err)
+	}
+	seq := w.nextSeq
+	le := binary.LittleEndian
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, 0, 0, 0, 0) // crc placeholder
+	w.buf = le.AppendUint64(w.buf, seq)
+	w.buf = append(w.buf, 0, 0, 0, 0) // len placeholder
+	w.buf = flowio.AppendRecord(w.buf, rec)
+	le.PutUint32(w.buf[12:16], uint32(len(w.buf)-walFrameHeader))
+	le.PutUint32(w.buf[0:4], crc32.ChecksumIEEE(w.buf[4:]))
+	if _, err := w.f.Write(w.buf); err != nil {
+		return 0, fmt.Errorf("checkpoint: WAL append: %w", err)
+	}
+	w.nextSeq++
+	w.size += int64(len(w.buf))
+	w.unsynced++
+	if w.syncEvery <= 1 || w.unsynced >= w.syncEvery {
+		if err := w.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// Sync flushes appended frames to stable storage.
+func (w *WAL) Sync() error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing WAL: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// Rotate empties the log after a snapshot that covers every frame up to
+// and including baseSeq. Refuses to drop frames no snapshot holds.
+func (w *WAL) Rotate(baseSeq uint64) error {
+	if baseSeq+1 < w.nextSeq {
+		return fmt.Errorf("checkpoint: rotating WAL to base %d would drop %d frames no snapshot covers",
+			baseSeq, w.nextSeq-1-baseSeq)
+	}
+	if err := w.reset(baseSeq); err != nil {
+		return err
+	}
+	w.nextSeq = baseSeq + 1
+	return nil
+}
+
+// LastSeq returns the sequence number of the most recently appended
+// frame (or the base, when none have been appended).
+func (w *WAL) LastSeq() uint64 { return w.nextSeq - 1 }
+
+// Size returns the log's current size in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,259 @@
+package checkpoint_test
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"plotters/internal/checkpoint"
+	"plotters/internal/flow"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), checkpoint.WALFile)
+}
+
+func appendAll(t *testing.T, w *checkpoint.WAL, records []flow.Record) []uint64 {
+	t.Helper()
+	seqs := make([]uint64, len(records))
+	for i := range records {
+		seq, err := w.Append(&records[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = seq
+	}
+	return seqs
+}
+
+// Records framed into the log must replay in order with their sequence
+// numbers on reopen.
+func TestWALAppendReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	records := synthStream(rng, baseTime(), 30*time.Minute)
+	path := walPath(t)
+
+	w, info, err := checkpoint.OpenWAL(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Frames != 0 || info.Torn {
+		t.Fatalf("fresh WAL scanned as %+v", info)
+	}
+	seqs := appendAll(t, w, records)
+	for i, seq := range seqs {
+		if want := uint64(i + 1); seq != want {
+			t.Fatalf("record %d got seq %d, want %d", i, seq, want)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []flow.Record
+	var gotSeqs []uint64
+	w2, info, err := checkpoint.OpenWAL(path, 0, func(seq uint64, rec *flow.Record) error {
+		got = append(got, *rec)
+		gotSeqs = append(gotSeqs, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Torn {
+		t.Fatal("cleanly closed WAL reported torn")
+	}
+	if info.Frames != len(records) || len(got) != len(records) {
+		t.Fatalf("replayed %d frames, want %d", info.Frames, len(records))
+	}
+	if info.LastSeq != uint64(len(records)) {
+		t.Fatalf("LastSeq %d, want %d", info.LastSeq, len(records))
+	}
+	for i := range records {
+		if gotSeqs[i] != seqs[i] {
+			t.Fatalf("frame %d seq %d, want %d", i, gotSeqs[i], seqs[i])
+		}
+		if !got[i].Start.Equal(records[i].Start) || got[i].Src != records[i].Src ||
+			got[i].SrcBytes != records[i].SrcBytes || got[i].State != records[i].State {
+			t.Fatalf("frame %d record mismatch:\ngot  %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+	// New appends continue the sequence.
+	seq, err := w2.Append(&records[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(len(records) + 1); seq != want {
+		t.Fatalf("post-reopen append got seq %d, want %d", seq, want)
+	}
+}
+
+// A torn tail — the half-written frame a kill leaves behind — must be
+// truncated on reopen, losing only the incomplete frame; the log must
+// come back clean (not torn) on the reopen after that.
+func TestWALTornTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	records := synthStream(rng, baseTime(), 20*time.Minute)
+	path := walPath(t)
+	w, _, err := checkpoint.OpenWAL(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, records)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear off the last 10 bytes — mid-frame.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	frames := 0
+	w2, info, err := checkpoint.OpenWAL(path, 0, func(uint64, *flow.Record) error {
+		frames++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Torn {
+		t.Fatal("torn tail not reported")
+	}
+	if frames != len(records)-1 {
+		t.Fatalf("replayed %d frames after tear, want %d", frames, len(records)-1)
+	}
+	// Appending over the truncated tail works and the log is clean again.
+	if _, err := w2.Append(&records[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err = checkpoint.OpenWAL(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Torn || info.Frames != len(records) {
+		t.Fatalf("log after tear-repair-append scanned as %+v, want %d clean frames", info, len(records))
+	}
+}
+
+// A bit flip inside a committed frame is corruption, not a torn tail:
+// reopen must fail loudly.
+func TestWALDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	records := synthStream(rng, baseTime(), 20*time.Minute)
+	path := walPath(t)
+	w, _, err := checkpoint.OpenWAL(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, records)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(data) / 2
+	data[mid] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := checkpoint.OpenWAL(path, 0, nil); err == nil {
+		t.Fatal("bit-flipped WAL opened without error")
+	}
+}
+
+// Rotation after a snapshot empties the log and continues the sequence
+// numbering; rotating past frames no snapshot covers is refused.
+func TestWALRotate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	records := synthStream(rng, baseTime(), 20*time.Minute)
+	path := walPath(t)
+	w, _, err := checkpoint.OpenWAL(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, records)
+	last := w.LastSeq()
+
+	if err := w.Rotate(last - 1); err == nil {
+		t.Fatal("rotate below the last appended frame did not fail")
+	}
+	if err := w.Rotate(last); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 14 { // header only: magic, version, baseSeq
+		t.Fatalf("rotated WAL is %d bytes, want the 14-byte header", w.Size())
+	}
+	seq, err := w.Append(&records[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != last+1 {
+		t.Fatalf("post-rotate append got seq %d, want %d", seq, last+1)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	frames := 0
+	var firstSeq uint64
+	_, info, err := checkpoint.OpenWAL(path, 0, func(seq uint64, _ *flow.Record) error {
+		if frames == 0 {
+			firstSeq = seq
+		}
+		frames++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BaseSeq != last || frames != 1 || firstSeq != last+1 {
+		t.Fatalf("rotated log scanned as base %d, %d frames, first seq %d; want base %d, 1 frame, seq %d",
+			info.BaseSeq, frames, firstSeq, last, last+1)
+	}
+}
+
+// A WAL stamped with a future version must be rejected with a
+// descriptive error, not misparsed.
+func TestWALUnknownVersion(t *testing.T) {
+	path := walPath(t)
+	hdr := make([]byte, 14)
+	copy(hdr, "PWAL")
+	binary.LittleEndian.PutUint16(hdr[4:6], 99)
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := checkpoint.OpenWAL(path, 0, nil)
+	if err == nil {
+		t.Fatal("version-99 WAL opened without error")
+	}
+	if !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("error %q does not name the offending version", err)
+	}
+}
+
+// A file that is not a WAL at all must fail with ErrNotWAL.
+func TestWALBadMagic(t *testing.T) {
+	path := walPath(t)
+	if err := os.WriteFile(path, []byte("definitely not a write-ahead log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := checkpoint.OpenWAL(path, 0, nil); err == nil {
+		t.Fatal("non-WAL file opened without error")
+	}
+}

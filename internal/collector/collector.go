@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 
 	"plotters/internal/flow"
@@ -372,6 +373,64 @@ func (c *Collector) accountV5(exporter string, hdr V5Header) {
 	}
 	st.v5Seen = true
 	st.v5Next = hdr.FlowSequence + uint32(hdr.Count)
+}
+
+// SequenceState is one exporter stream's serializable sequence
+// expectations — the state that must survive a collector restart so the
+// first packets after recovery are checked against the pre-crash
+// sequence numbers instead of being treated as a fresh stream (real
+// gaps across the outage stay visible; false resets never fire).
+type SequenceState struct {
+	Exporter string // exporter socket address, as reported by the kernel
+	Engine   uint16 // v5: engine_type<<8|engine_id; v9: source ID (low 16)
+	V5Seen   bool
+	V5Next   uint32 // expected flow_sequence of the next v5 packet
+	V9Seen   bool
+	V9Next   uint32 // expected package sequence of the next v9 packet
+}
+
+// SequenceStates snapshots every exporter stream's sequence accounting,
+// sorted by (Exporter, Engine) so the same state always serializes to
+// the same bytes. Safe to call concurrently with Run.
+func (c *Collector) SequenceStates() []SequenceState {
+	c.expMu.Lock()
+	defer c.expMu.Unlock()
+	if len(c.exporters) == 0 {
+		return nil
+	}
+	out := make([]SequenceState, 0, len(c.exporters))
+	for key, st := range c.exporters {
+		out = append(out, SequenceState{
+			Exporter: key.addr,
+			Engine:   key.engine,
+			V5Seen:   st.v5Seen,
+			V5Next:   st.v5Next,
+			V9Seen:   st.v9Seen,
+			V9Next:   st.v9Next,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exporter != out[j].Exporter {
+			return out[i].Exporter < out[j].Exporter
+		}
+		return out[i].Engine < out[j].Engine
+	})
+	return out
+}
+
+// RestoreSequenceStates seeds the exporter accounting from a snapshot,
+// typically before Run on a collector recovering from a checkpoint.
+// Existing entries for the same exporter stream are overwritten.
+func (c *Collector) RestoreSequenceStates(states []SequenceState) {
+	c.expMu.Lock()
+	defer c.expMu.Unlock()
+	for _, s := range states {
+		st := c.exporter(exporterKey{addr: s.Exporter, engine: s.Engine})
+		st.v5Seen = s.V5Seen
+		st.v5Next = s.V5Next
+		st.v9Seen = s.V9Seen
+		st.v9Next = s.V9Next
+	}
 }
 
 // accountV9 does the same for v9, whose sequence counts packets.

@@ -67,6 +67,13 @@ type Config struct {
 	CarryFirstSeen bool
 	// Internal selects monitored initiator addresses (nil = all).
 	Internal func(flow.IP) bool
+	// StateDir, when set, names the directory where a checkpoint
+	// manager persists this engine's snapshots and write-ahead log.
+	// The engine itself never touches the filesystem — the field rides
+	// on the config so one struct can describe a durable deployment end
+	// to end (internal/checkpoint and the plotfind -state-dir flag
+	// consume it).
+	StateDir string
 	// Core tunes the per-window detection pipeline. Core.Metrics, when
 	// set, also instruments the engine ("engine/..." stages and
 	// window gauges) and the sharded store.
@@ -112,6 +119,11 @@ type Result struct {
 	// Detection is the full FindPlotters outcome over the window,
 	// every intermediate stage included.
 	Detection *core.Result
+	// Partial marks a window sealed by Flush before the feed reached
+	// its nominal end: the result covers only the traffic observed up
+	// to the flush frontier, so its verdicts are provisional (the
+	// shutdown report of a live deployment, not a completed window).
+	Partial bool
 }
 
 // WindowedDetector drives continuous detection over a record stream.
@@ -132,6 +144,7 @@ type WindowedDetector struct {
 	recent   []*flow.Pane
 	emitted  int
 	dropped  int
+	flushing bool // inside Flush: mark windows sealed early as Partial
 }
 
 // New creates a windowed detector. emit receives each sealed window's
@@ -166,6 +179,11 @@ func New(cfg Config, emit func(*Result) error) (*WindowedDetector, error) {
 // Store exposes the underlying sharded feature store (live features of
 // the open window — e.g. for a metrics endpoint between boundaries).
 func (d *WindowedDetector) Store() *flow.ShardedExtractor { return d.store }
+
+// Config returns the configuration the detector was created with (with
+// Validate already applied). Checkpointing uses it to fingerprint the
+// snapshot so a restore into a differently shaped engine fails loudly.
+func (d *WindowedDetector) Config() Config { return d.cfg }
 
 // Windows returns how many window results have been emitted.
 func (d *WindowedDetector) Windows() int { return d.emitted }
@@ -235,11 +253,15 @@ func (d *WindowedDetector) AdvanceTo(t time.Time) error {
 
 // Flush seals the open partial window at the end of the feed, emitting
 // its result. The window keeps its nominal bounds; the feed simply
-// ended inside it.
+// ended inside it. A window whose nominal end lies past the flush
+// frontier is emitted with Result.Partial set — it covers only the
+// traffic the feed delivered before stopping.
 func (d *WindowedDetector) Flush() error {
 	if !d.started {
 		return nil
 	}
+	d.flushing = true
+	defer func() { d.flushing = false }()
 	if err := d.advance(d.frontier); err != nil {
 		return err
 	}
@@ -358,6 +380,7 @@ func (d *WindowedDetector) detect(src *flow.FeatureSet, w flow.Window, index int
 		Hosts:     src.Hosts(),
 		Records:   records,
 		Detection: res,
+		Partial:   d.flushing && w.To.After(d.frontier),
 	}
 	d.emitted++
 	reg.Counter("engine/windows").Add(1)

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+// windowSummary is the comparable essence of one emitted window for
+// resume-equivalence checks: everything the operator sees, stage
+// survivors and thresholds included.
+type windowSummary struct {
+	Index      int
+	Window     string
+	Hosts      int
+	Records    int
+	Partial    bool
+	Reduction  []flow.IP
+	Volume     []flow.IP
+	Churn      []flow.IP
+	Suspects   []flow.IP
+	Thresholds [4]float64
+}
+
+func summarize(res *Result) windowSummary {
+	det := res.Detection
+	return windowSummary{
+		Index:     res.Index,
+		Window:    res.Window.String(),
+		Hosts:     res.Hosts,
+		Records:   res.Records,
+		Partial:   res.Partial,
+		Reduction: det.Reduction.Kept.Sorted(),
+		Volume:    det.Volume.Kept.Sorted(),
+		Churn:     det.Churn.Kept.Sorted(),
+		Suspects:  det.Suspects.Sorted(),
+		Thresholds: [4]float64{
+			det.Reduction.Threshold, det.Volume.Threshold,
+			det.Churn.Threshold, det.HM.Threshold,
+		},
+	}
+}
+
+func collectSummaries(out *[]windowSummary) func(*Result) error {
+	return func(res *Result) error {
+		*out = append(*out, summarize(res))
+		return nil
+	}
+}
+
+// resumeConfig exercises the checkpointing-relevant engine features:
+// skew (pending heaps), sharding, and carried first-seen anchors.
+func resumeConfig(window, slide time.Duration) Config {
+	return Config{
+		Window:         window,
+		Slide:          slide,
+		Shards:         3,
+		MaxSkew:        2 * time.Minute,
+		DropLate:       true,
+		CarryFirstSeen: true,
+		Core:           testConfig(),
+	}
+}
+
+// Snapshotting a running detector mid-stream and restoring into a fresh
+// one must continue the window sequence exactly where the original
+// would have: same indices, same bounds, same per-stage survivors and
+// thresholds. This is the in-memory core of the crash-recovery
+// guarantee (internal/checkpoint adds the bytes and the WAL replay).
+func TestEngineStateResumeEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		window, slide time.Duration
+	}{
+		{"tumbling", time.Hour, 0},
+		{"sliding", time.Hour, 20 * time.Minute},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			base := baseTime()
+			records := synthStream(rng, base, 5*time.Hour)
+
+			var uninterrupted []windowSummary
+			ref, err := New(resumeConfig(tc.window, tc.slide), collectSummaries(&uninterrupted))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range records {
+				if err := ref.Add(&records[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ref.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, cut := range []int{1, len(records) / 3, len(records) / 2, len(records) - 1} {
+				var before []windowSummary
+				first, err := New(resumeConfig(tc.window, tc.slide), collectSummaries(&before))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < cut; i++ {
+					if err := first.Add(&records[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				st := first.State()
+
+				var after []windowSummary
+				resumed, err := New(resumeConfig(tc.window, tc.slide), collectSummaries(&after))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := resumed.RestoreState(st); err != nil {
+					t.Fatal(err)
+				}
+				if resumed.Windows() != first.Windows() || resumed.Dropped() != first.Dropped() {
+					t.Fatalf("cut %d: restored counters differ: windows %d/%d dropped %d/%d",
+						cut, resumed.Windows(), first.Windows(), resumed.Dropped(), first.Dropped())
+				}
+				for i := cut; i < len(records); i++ {
+					if err := resumed.Add(&records[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := resumed.Flush(); err != nil {
+					t.Fatal(err)
+				}
+
+				combined := append(append([]windowSummary(nil), before...), after...)
+				if !reflect.DeepEqual(combined, uninterrupted) {
+					t.Fatalf("cut %d: resumed window sequence diverged:\nresumed       %+v\nuninterrupted %+v",
+						cut, combined, uninterrupted)
+				}
+			}
+		})
+	}
+}
+
+// RestoreState must reject a detector that already ingested records and
+// a snapshot whose pane ring does not fit the window geometry.
+func TestEngineRestoreStateRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	records := synthStream(rng, baseTime(), time.Hour)
+	d, err := New(resumeConfig(time.Hour, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(&records[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RestoreState(d.State()); err == nil {
+		t.Fatal("RestoreState on a started detector did not fail")
+	}
+
+	fresh, err := New(resumeConfig(time.Hour, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &State{
+		Store:  flow.NewShardedExtractorSkew(flow.FeatureOptions{}, 3, 0).State(),
+		Recent: make([]*flow.PaneState, 2), // tumbling allows at most 1
+	}
+	if err := fresh.RestoreState(st); err == nil {
+		t.Fatal("oversized pane ring did not fail")
+	}
+	if err := fresh.RestoreState(&State{}); err == nil {
+		t.Fatal("snapshot without store state did not fail")
+	}
+}
+
+// Flush must mark a window cut short by the end of the feed as Partial,
+// and leave windows whose nominal end the frontier already passed
+// unmarked.
+func TestFlushMarksPartialWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	base := baseTime()
+	records := synthStream(rng, base, 90*time.Minute) // 1.5 windows
+
+	var got []windowSummary
+	d, err := New(resumeConfig(time.Hour, 0), collectSummaries(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if err := d.Add(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("expected 2 windows, got %d", len(got))
+	}
+	if got[0].Partial {
+		t.Error("completed window 0 marked partial")
+	}
+	if !got[1].Partial {
+		t.Error("flushed half-window not marked partial")
+	}
+}

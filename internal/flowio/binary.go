@@ -34,7 +34,7 @@ const binaryHeaderSize = 4 + 4 + 2 + 2 + 1 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 1
 type BinaryWriter struct {
 	w       *bufio.Writer
 	started bool
-	buf     [binaryHeaderSize]byte
+	buf     [binaryHeaderSize + flow.MaxPayload]byte
 }
 
 // NewBinaryWriter wraps w. The format magic is emitted before the first
@@ -43,18 +43,13 @@ func NewBinaryWriter(w io.Writer) *BinaryWriter {
 	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
 }
 
-// Write appends one record.
-func (bw *BinaryWriter) Write(r *flow.Record) error {
-	if err := r.Validate(); err != nil {
-		return fmt.Errorf("flowio: refusing to encode invalid record: %w", err)
-	}
-	if !bw.started {
-		if _, err := bw.w.Write(magic[:]); err != nil {
-			return fmt.Errorf("flowio: writing magic: %w", err)
-		}
-		bw.started = true
-	}
-	b := bw.buf[:]
+// AppendRecord encodes one record in the binary trace's record layout
+// (fixed header + payload, no stream magic), appending to dst. This is
+// the reusable single-record codec: the trace writer, the checkpoint
+// WAL, and snapshot reorder-buffer serialization all share it so their
+// byte layouts cannot drift.
+func AppendRecord(dst []byte, r *flow.Record) []byte {
+	var b [binaryHeaderSize]byte
 	le := binary.LittleEndian
 	le.PutUint32(b[0:], uint32(r.Src))
 	le.PutUint32(b[4:], uint32(r.Dst))
@@ -69,13 +64,58 @@ func (bw *BinaryWriter) Write(r *flow.Record) error {
 	le.PutUint64(b[38:], r.SrcBytes)
 	le.PutUint64(b[46:], r.DstBytes)
 	b[54] = byte(len(r.Payload))
-	if _, err := bw.w.Write(b); err != nil {
-		return fmt.Errorf("flowio: writing record: %w", err)
+	dst = append(dst, b[:]...)
+	return append(dst, r.Payload...)
+}
+
+// DecodeRecord decodes one record produced by AppendRecord from the
+// front of b, returning the bytes consumed.
+func DecodeRecord(b []byte) (flow.Record, int, error) {
+	if len(b) < binaryHeaderSize {
+		return flow.Record{}, 0, fmt.Errorf("flowio: record truncated: %d of %d header bytes", len(b), binaryHeaderSize)
 	}
-	if len(r.Payload) > 0 {
-		if _, err := bw.w.Write(r.Payload); err != nil {
-			return fmt.Errorf("flowio: writing payload: %w", err)
+	le := binary.LittleEndian
+	r := flow.Record{
+		Src:      flow.IP(le.Uint32(b[0:])),
+		Dst:      flow.IP(le.Uint32(b[4:])),
+		SrcPort:  le.Uint16(b[8:]),
+		DstPort:  le.Uint16(b[10:]),
+		Proto:    flow.Proto(b[12]),
+		State:    flow.ConnState(b[13]),
+		Start:    time.Unix(0, int64(le.Uint64(b[14:]))).UTC(),
+		End:      time.Unix(0, int64(le.Uint64(b[22:]))).UTC(),
+		SrcPkts:  le.Uint32(b[30:]),
+		DstPkts:  le.Uint32(b[34:]),
+		SrcBytes: le.Uint64(b[38:]),
+		DstBytes: le.Uint64(b[46:]),
+	}
+	n := binaryHeaderSize
+	if pl := int(b[54]); pl > 0 {
+		if pl > flow.MaxPayload {
+			return flow.Record{}, 0, fmt.Errorf("flowio: payload length %d exceeds cap", pl)
 		}
+		if len(b) < n+pl {
+			return flow.Record{}, 0, fmt.Errorf("flowio: record truncated: %d of %d payload bytes", len(b)-n, pl)
+		}
+		r.Payload = append([]byte(nil), b[n:n+pl]...)
+		n += pl
+	}
+	return r, n, nil
+}
+
+// Write appends one record.
+func (bw *BinaryWriter) Write(r *flow.Record) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("flowio: refusing to encode invalid record: %w", err)
+	}
+	if !bw.started {
+		if _, err := bw.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("flowio: writing magic: %w", err)
+		}
+		bw.started = true
+	}
+	if _, err := bw.w.Write(AppendRecord(bw.buf[:0], r)); err != nil {
+		return fmt.Errorf("flowio: writing record: %w", err)
 	}
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 
 	"plotters/internal/argus"
 	"plotters/internal/baseline"
+	"plotters/internal/checkpoint"
 	"plotters/internal/collector"
 	"plotters/internal/core"
 	"plotters/internal/engine"
@@ -543,3 +544,60 @@ func AppendNetFlowV5(dst []byte, records []Record, seq uint32) ([]byte, error) {
 func DecodeNetFlowV5(pkt []byte, dst []Record) (NetFlowV5Header, []Record, error) {
 	return collector.DecodeV5(pkt, dst)
 }
+
+// Durable state: checkpoint/restore for crash-safe continuous
+// detection. A CheckpointManager owns a snapshot file and a per-record
+// write-ahead log under EngineConfig.StateDir (or its own Dir);
+// restarting a dead process with the same configuration and calling
+// Recover rebuilds the engine bit-identically — same window boundaries,
+// same verdicts. See internal/checkpoint and DESIGN.md §4e.
+type (
+	// Checkpoint is the decoded form of one snapshot file.
+	Checkpoint = checkpoint.Snapshot
+	// CheckpointMeta is a snapshot's provenance plus the engine
+	// configuration fingerprint it must be restored under.
+	CheckpointMeta = checkpoint.Meta
+	// CheckpointConfig shapes a CheckpointManager.
+	CheckpointConfig = checkpoint.Config
+	// CheckpointManager ties a WindowedDetector to its durable state:
+	// WAL-ahead ingest, periodic atomic snapshots, crash recovery.
+	CheckpointManager = checkpoint.Manager
+	// CheckpointRecovery summarizes what recovery found on disk.
+	CheckpointRecovery = checkpoint.RecoveryInfo
+	// EngineState is a complete snapshot of a WindowedDetector's
+	// dynamic state (exported plumbing; most callers use the manager).
+	EngineState = engine.State
+	// ExporterSequenceState is the collector's per-exporter NetFlow
+	// sequence accounting, carried through snapshots so a restarted
+	// collector does not misreport resets and gaps.
+	ExporterSequenceState = collector.SequenceState
+)
+
+// File names a CheckpointManager uses inside its state directory.
+const (
+	// CheckpointSnapshotFile is the snapshot file's name.
+	CheckpointSnapshotFile = checkpoint.SnapshotFile
+	// CheckpointWALFile is the write-ahead log's name.
+	CheckpointWALFile = checkpoint.WALFile
+)
+
+// NewCheckpointManager binds durable state to a freshly constructed
+// detector. Call Recover before feeding records, even on a cold start.
+func NewCheckpointManager(cfg CheckpointConfig, eng *WindowedDetector) (*CheckpointManager, error) {
+	return checkpoint.NewManager(cfg, eng)
+}
+
+// SaveCheckpoint writes a one-shot atomic snapshot of a detector (plus
+// optional exporter sequence state) to path — the manager-free path for
+// batch tools; live deployments use a CheckpointManager, whose WAL also
+// covers records snapshots miss.
+func SaveCheckpoint(path string, eng *WindowedDetector, exporters []ExporterSequenceState) (int64, error) {
+	meta := checkpoint.EngineMeta(eng)
+	meta.Created = time.Now()
+	return checkpoint.Write(path, &checkpoint.Snapshot{Meta: meta, Engine: eng.State(), Exporters: exporters})
+}
+
+// OpenCheckpoint reads and fully validates a snapshot file. Restore it
+// with Checkpoint.RestoreEngine on a fresh detector built with the
+// snapshotted configuration.
+func OpenCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Read(path) }

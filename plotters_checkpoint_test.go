@@ -1,0 +1,154 @@
+// Kill-and-resume golden test for the durable-state subsystem: a live
+// run over the seed-42 wire corpus is killed mid-stream (the manager is
+// abandoned without Flush or Close, exactly what SIGKILL leaves behind)
+// and a second process recovers from the state directory and finishes
+// the stream. The merged per-window outcome must be bit-identical to
+// the uninterrupted run pinned in testdata/collector_golden.json —
+// recovery may re-emit windows (at-least-once delivery), but every
+// re-emission must match the original and nothing may drift.
+package plotters_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"plotters"
+)
+
+// mergeWindows folds the window summaries from multiple process lives
+// into one run, deduplicating on the window index. A window emitted
+// twice (once before the kill, once re-emitted by WAL replay) must be
+// identical both times — recovery re-delivers, it never rewrites.
+func mergeWindows(t *testing.T, runs ...[]collectorWindow) []collectorWindow {
+	t.Helper()
+	byIdx := make(map[int]collectorWindow)
+	for _, run := range runs {
+		for _, w := range run {
+			if prev, ok := byIdx[w.Index]; ok {
+				if !reflect.DeepEqual(prev, w) {
+					t.Fatalf("window %d re-emitted differently across the crash:\nfirst  %+v\nsecond %+v", w.Index, prev, w)
+				}
+				continue
+			}
+			byIdx[w.Index] = w
+		}
+	}
+	merged := make([]collectorWindow, 0, len(byIdx))
+	for _, w := range byIdx {
+		merged = append(merged, w)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].Index < merged[b].Index })
+	return merged
+}
+
+func TestCheckpointKillAndResumeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis takes a few seconds; skipped in -short mode")
+	}
+	wire, _, w, pipe := collectorCorpus(t)
+	dir := t.TempDir()
+	ckptAt := len(wire) / 3     // last checkpoint the first life commits
+	killAt := len(wire) * 2 / 3 // records ingested when the kill lands
+
+	// First life: ingest through the manager, checkpoint once a third
+	// of the way in, keep going, then die without warning — no Flush,
+	// no final Checkpoint, no Close. The WAL holds everything past the
+	// snapshot.
+	var life1 []collectorWindow
+	eng1 := collectorEngine(t, pipe, w, &life1)
+	mgr1, err := plotters.NewCheckpointManager(plotters.CheckpointConfig{
+		Dir:       dir,
+		SyncEvery: 256, // batch fsyncs; a same-host restart reads the page cache
+	}, eng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := mgr1.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotLoaded || info.Replayed != 0 {
+		t.Fatalf("cold start found state: %+v", info)
+	}
+	for i := 0; i < killAt; i++ {
+		if err := mgr1.Add(&wire[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i == ckptAt {
+			if err := mgr1.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// SIGKILL: mgr1 and eng1 are simply abandoned here.
+
+	// Second life: a fresh engine with the same configuration recovers
+	// the snapshot plus the WAL tail, then finishes the stream.
+	var life2 []collectorWindow
+	eng2 := collectorEngine(t, pipe, w, &life2)
+	mgr2, err := plotters.NewCheckpointManager(plotters.CheckpointConfig{Dir: dir}, eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err = mgr2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SnapshotLoaded {
+		t.Fatal("recovery did not load the snapshot")
+	}
+	if want := killAt - (ckptAt + 1); info.Replayed != want {
+		t.Fatalf("replayed %d WAL records, want %d", info.Replayed, want)
+	}
+	for i := killAt; i < len(wire); i++ {
+		if err := mgr2.Add(&wire[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr2.AdvanceTo(w.To); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged lives must reproduce the uninterrupted loopback run
+	// exactly — same windows, same hosts, same suspects.
+	got := collectorGolden{WireRecords: len(wire), Windows: mergeWindows(t, life1, life2)}
+	raw, err := os.ReadFile(collectorGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (run TestCollectorLoopbackGolden with -update to create it)", err)
+	}
+	var want collectorGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("kill-and-resume outcome differs from the uninterrupted run:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// CI uploads the final checkpoint as a build artifact so a format
+	// regression leaves evidence to bisect with.
+	if out := os.Getenv("CHECKPOINT_ARTIFACT_DIR"); out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{plotters.CheckpointSnapshotFile, plotters.CheckpointWALFile} {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(out, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("checkpoint artifacts copied to %s", out)
+	}
+}
