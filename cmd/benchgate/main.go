@@ -1,0 +1,202 @@
+// Command benchgate turns `go test -bench` output into a CI pass/fail
+// decision. benchstat is great at displaying deltas but was not built
+// to gate on them; benchgate is the opposite — no statistics beyond
+// min-of-counts, just a hard threshold with a machine-readable exit
+// code. CI runs both: benchstat for the humans reading the job summary,
+// benchgate for the red X.
+//
+// Two modes:
+//
+//	benchgate -old base.txt -new head.txt [-threshold 1.10]
+//	    Regression gate. For every benchmark name present in BOTH files,
+//	    fail if head's best (minimum) ns/op exceeds base's best by more
+//	    than the threshold factor. Names only in one file are reported
+//	    but never fail the gate — new benchmarks must not break the PR
+//	    that introduces them.
+//
+//	benchgate -new head.txt -faster '(.*)-pruned$' -than '$1' [-threshold 1.0]
+//	    Ordering gate within one file. Every benchmark whose name matches
+//	    the -faster regexp must be at least as fast as its counterpart,
+//	    whose name is derived by applying -than as a replacement template
+//	    (so `BenchmarkHMTest/n=1024/par-pruned` is compared against
+//	    `BenchmarkHMTest/n=1024/par`). Fails if faster > counterpart ×
+//	    threshold. Matches with no counterpart in the file are skipped.
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix the testing package appends, so runs from machines with
+// different core counts still compare. With -count=N, the minimum ns/op
+// across repetitions is used: the minimum is the least noisy estimator
+// of a benchmark's true cost on a shared CI runner, where interference
+// only ever adds time.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkHMTest/n=1024/par-pruned-4   1   77618112 ns/op   6.8e+06 pairs/s
+//
+// capturing the name (with GOMAXPROCS suffix) and the ns/op value.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9][0-9.eE+-]*) ns/op`)
+
+// procSuffix is the -GOMAXPROCS tail appended to sub-benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads a -bench output file into name → minimum ns/op.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op %q: %v", path, m[2], err)
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		if cur, ok := best[name]; !ok || ns < cur {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return best, nil
+}
+
+func sortedNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// gateRegression compares common names across two files; returns the
+// number of failures.
+func gateRegression(oldB, newB map[string]float64, threshold float64) int {
+	failures := 0
+	for _, name := range sortedNames(newB) {
+		base, ok := oldB[name]
+		if !ok {
+			fmt.Printf("  new    %-52s %12.0f ns/op (no baseline; not gated)\n", name, newB[name])
+			continue
+		}
+		head := newB[name]
+		ratio := head / base
+		verdict := "ok    "
+		if head > base*threshold {
+			verdict = "FAIL  "
+			failures++
+		}
+		fmt.Printf("  %s %-52s %12.0f → %12.0f ns/op  (%+.1f%%)\n",
+			verdict, name, base, head, (ratio-1)*100)
+	}
+	for _, name := range sortedNames(oldB) {
+		if _, ok := newB[name]; !ok {
+			fmt.Printf("  gone   %-52s (present in baseline only; not gated)\n", name)
+		}
+	}
+	return failures
+}
+
+// gateFaster enforces an intra-file ordering; returns the number of
+// failures and how many matched benchmarks were actually compared.
+func gateFaster(b map[string]float64, faster *regexp.Regexp, than string, threshold float64) (failures, compared int) {
+	for _, name := range sortedNames(b) {
+		if !faster.MatchString(name) {
+			continue
+		}
+		counterpart := faster.ReplaceAllString(name, than)
+		ref, ok := b[counterpart]
+		if !ok || counterpart == name {
+			continue
+		}
+		compared++
+		t := b[name]
+		verdict := "ok    "
+		if t > ref*threshold {
+			verdict = "FAIL  "
+			failures++
+		}
+		fmt.Printf("  %s %-52s %12.0f ns/op vs %s %.0f ns/op  (%.2fx)\n",
+			verdict, name, t, counterpart, ref, t/ref)
+	}
+	return failures, compared
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline -bench output file (regression mode)")
+	newPath := flag.String("new", "", "candidate -bench output file (required)")
+	threshold := flag.Float64("threshold", 1.10, "fail when candidate ns/op exceeds reference × threshold")
+	faster := flag.String("faster", "", "regexp selecting benchmarks that must beat their counterpart (ordering mode)")
+	than := flag.String("than", "", "replacement template deriving the counterpart name from a -faster match")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *newPath == "" {
+		fail("-new is required")
+	}
+	if (*oldPath == "") == (*faster == "") {
+		fail("exactly one of -old (regression mode) or -faster/-than (ordering mode) must be set")
+	}
+
+	newB, err := parseBench(*newPath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var failures int
+	switch {
+	case *oldPath != "":
+		oldB, err := parseBench(*oldPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("benchgate: regression gate, threshold %.2fx (min over repetitions)\n", *threshold)
+		failures = gateRegression(oldB, newB, *threshold)
+	default:
+		if *than == "" {
+			fail("-faster requires -than")
+		}
+		re, err := regexp.Compile(*faster)
+		if err != nil {
+			fail("bad -faster regexp: %v", err)
+		}
+		fmt.Printf("benchgate: ordering gate %q must beat %q, threshold %.2fx\n", *faster, *than, *threshold)
+		var compared int
+		failures, compared = gateFaster(newB, re, *than, *threshold)
+		if compared == 0 {
+			fail("no benchmark matched -faster %q with a counterpart present", *faster)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) failed the gate\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gates passed")
+}

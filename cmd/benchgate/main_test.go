@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// writeBench drops a synthetic -bench output file and returns its path.
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sample = `goos: linux
+goarch: amd64
+pkg: plotters
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHMTest/n=1024/par-4         	       1	103000000 ns/op	   5.1e+06 pairs/s
+BenchmarkHMTest/n=1024/par-4         	       1	 99000000 ns/op	   5.3e+06 pairs/s
+BenchmarkHMTest/n=1024/par-pruned-4  	       1	 77000000 ns/op	   6.8e+06 pairs/s
+BenchmarkHMTest/n=1024/par-pruned-4  	       1	 81000000 ns/op	   6.5e+06 pairs/s
+PASS
+ok  	plotters	2.563s
+`
+
+// TestParseBench pins the three parsing behaviours the gates rely on:
+// GOMAXPROCS suffixes are stripped, repetitions collapse to the
+// minimum, and non-result lines are ignored.
+func TestParseBench(t *testing.T) {
+	b, err := parseBench(writeBench(t, "sample.txt", sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("parsed %d names, want 2: %v", len(b), b)
+	}
+	if got := b["BenchmarkHMTest/n=1024/par"]; got != 99000000 {
+		t.Errorf("par min = %v, want 99000000", got)
+	}
+	if got := b["BenchmarkHMTest/n=1024/par-pruned"]; got != 77000000 {
+		t.Errorf("pruned min = %v, want 77000000", got)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(writeBench(t, "empty.txt", "PASS\nok plotters 1s\n")); err == nil {
+		t.Error("expected error on file with no benchmark lines")
+	}
+}
+
+// TestGateRegression: a 5% slowdown passes a 1.10 gate, a 20% slowdown
+// fails it, and names unique to either side never count as failures.
+func TestGateRegression(t *testing.T) {
+	oldB := map[string]float64{"A": 100, "B": 100, "Gone": 50}
+	newB := map[string]float64{"A": 105, "B": 120, "New": 10}
+	if got := gateRegression(oldB, newB, 1.10); got != 1 {
+		t.Errorf("failures = %d, want 1 (only B regresses past 10%%)", got)
+	}
+	if got := gateRegression(oldB, newB, 1.25); got != 0 {
+		t.Errorf("failures = %d, want 0 at a 1.25 threshold", got)
+	}
+}
+
+// TestGateFaster: the pruned variant must beat its exhaustive
+// counterpart; a pruned bench with no counterpart is skipped, not
+// failed.
+func TestGateFaster(t *testing.T) {
+	re := regexp.MustCompile(`(.*)-pruned$`)
+	b := map[string]float64{
+		"HM/n=64-pruned":   90,
+		"HM/n=64":          100,
+		"HM/n=256-pruned":  130,
+		"HM/n=256":         100,
+		"HM/n=4096-pruned": 10, // no exhaustive counterpart at this n
+	}
+	failures, compared := gateFaster(b, re, "$1", 1.0)
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2", compared)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1 (n=256 pruned is slower)", failures)
+	}
+	// With 40% headroom the slow pair passes too.
+	failures, _ = gateFaster(b, re, "$1", 1.4)
+	if failures != 0 {
+		t.Errorf("failures = %d, want 0 at 1.4x threshold", failures)
+	}
+}

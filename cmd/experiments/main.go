@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-fig N[,N...]|all] [-days N] [-seed S] [-scale small|paper] [-metrics FILE]
+//	experiments [-fig N[,N...]|all] [-days N] [-seed S] [-scale small|paper] [-hm-prune [-hm-cut D]] [-metrics FILE]
 //
 // With -metrics, cumulative pipeline stage timings across every figure
 // run are written to FILE as JSON (see EXPERIMENTS.md for how to read
-// them).
+// them). With -hm-prune, every θ_hm run prunes its pairwise EMD matrix
+// (identical figures, fewer exact EMD evaluations); the metrics file
+// and a stderr summary then carry the engine's cumulative pair
+// accounting across all figure runs.
 package main
 
 import (
@@ -40,6 +43,8 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "master random seed")
 		scale     = flag.String("scale", "paper", "dataset scale: small (fast) or paper")
 		parallel  = flag.Int("parallelism", 0, "worker count for the θ_hm distance matrix (0 = all CPUs, 1 = sequential)")
+		hmPrune   = flag.Bool("hm-prune", false, "prune the θ_hm distance matrix: skip exact EMD for pairs provably above the clustering cut (identical figures)")
+		hmCut     = flag.Float64("hm-cut", 0, "explicit θ_hm prune/gate distance (0 = auto-calibrate when -hm-prune is set)")
 		metricsTo = flag.String("metrics", "", "write cumulative pipeline stage timings to this file as JSON")
 	)
 	flag.Parse()
@@ -65,6 +70,8 @@ func run() error {
 	}
 	pipeCfg := plotters.DefaultConfig()
 	pipeCfg.Parallelism = *parallel
+	pipeCfg.HMPrune = *hmPrune
+	pipeCfg.HMCut = *hmCut
 	var reg *plotters.Metrics
 	if *metricsTo != "" {
 		reg = plotters.NewMetrics()
@@ -110,13 +117,18 @@ func run() error {
 		}
 	}
 	if reg != nil {
+		snap := reg.TakeSnapshot()
+		if pr, ok := plotters.PruneSummary(snap); ok {
+			fmt.Fprintf(os.Stderr, "θ_hm pruning: %d of %d pairs evaluated exactly, +%d calibration (%.1f%%; bound pruned %d, pivots pruned %d, gated %d)\n",
+				pr.Exact, pr.PairsTotal, pr.Calibration, 100*pr.ExactFraction, pr.PrunedBound, pr.PrunedPivot, pr.Gated)
+		}
 		f, err := os.Create(*metricsTo)
 		if err != nil {
 			return err
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(reg.TakeSnapshot()); err != nil {
+		if err := enc.Encode(snap); err != nil {
 			f.Close()
 			return fmt.Errorf("writing metrics: %w", err)
 		}

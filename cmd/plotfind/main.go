@@ -5,8 +5,17 @@
 // Usage:
 //
 //	plotfind [-format binary|csv|jsonl|netflow] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
+//	plotfind -hm-prune [-hm-cut D] ... TRACE
 //	plotfind -window 6h [-slide 1h] [-shards N] [-skew 5m] ... TRACE
 //	plotfind -listen :2055 -window 6h [-skew 5m] [-state-dir DIR [-checkpoint-every 5m]] ...
+//
+// With -hm-prune, θ_hm's pairwise EMD matrix runs through the layered
+// pruning engine: pairs provably above the clustering cut skip their
+// exact EMD evaluation, with detection output identical to the
+// exhaustive run. The cut auto-calibrates from a host subsample, or
+// -hm-cut pins it explicitly. The -metrics report (and the stdout
+// summary) then carries the pair accounting — how many pairs the bound
+// and pivot layers skipped versus evaluated exactly.
 //
 // With -window, the trace streams through the continuous windowed
 // detection engine instead of one batch run: records feed a sharded
@@ -48,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -74,6 +84,8 @@ func run() error {
 		churnPct  = flag.Float64("churn-pct", 0, "override τ_churn percentile (0 = default)")
 		hmPct     = flag.Float64("hm-pct", 0, "override τ_hm percentile (0 = default)")
 		parallel  = flag.Int("parallelism", 0, "worker count for the θ_hm distance matrix (0 = all CPUs, 1 = sequential)")
+		hmPrune   = flag.Bool("hm-prune", false, "prune the θ_hm distance matrix: skip exact EMD for pairs provably above the clustering cut (identical detection output)")
+		hmCut     = flag.Float64("hm-cut", 0, "explicit θ_hm prune/gate distance (0 = auto-calibrate when -hm-prune is set)")
 		metricsTo = flag.String("metrics", "", "write a JSON run report (stage timings, survivor counts, I/O volume) to this file")
 		window    = flag.Duration("window", 0, "run continuous windowed detection with this window length instead of one batch run")
 		slide     = flag.Duration("slide", 0, "sliding-window step (0 = tumbling windows; requires -window, must divide it)")
@@ -122,6 +134,8 @@ func run() error {
 		cfg.HMPercentile = *hmPct
 	}
 	cfg.Parallelism = *parallel
+	cfg.HMPrune = *hmPrune
+	cfg.HMCut = *hmCut
 
 	if *window > 0 {
 		engCfg := plotters.EngineConfig{
@@ -176,6 +190,12 @@ func run() error {
 	fmt.Printf("θ_churn       %7d  new-IP fraction < %.4f\n", len(res.Churn.Kept), res.Churn.Threshold)
 	fmt.Printf("θ_hm          %7d  cluster spread ≤ %.4f (%d clusters, %d hosts clustered, %d skipped)\n",
 		len(res.Suspects), res.HM.Threshold, len(res.HM.Clusters), res.HM.Clustered, res.HM.Skipped)
+	if reg != nil {
+		if pr, ok := plotters.PruneSummary(reg.TakeSnapshot()); ok {
+			fmt.Printf("θ_hm pruning: %d of %d pairs evaluated exactly, +%d calibration (%.1f%%; bound pruned %d, pivots pruned %d, gated %d)\n",
+				pr.Exact, pr.PairsTotal, pr.Calibration, 100*pr.ExactFraction, pr.PrunedBound, pr.PrunedPivot, pr.Gated)
+		}
+	}
 
 	if *verbose {
 		printSet := func(name string, set plotters.HostSet) {
@@ -206,6 +226,12 @@ func run() error {
 			marker := " "
 			if c.Kept {
 				marker = "*"
+			}
+			if c.Diameter == math.MaxFloat64 {
+				// Clamped sentinel spread: an explicit -hm-cut below this
+				// cluster's true spread (see the pipeline's overcut gauge).
+				fmt.Printf("  %s size=%-4d spread=overcut\n", marker, len(c.Hosts))
+				continue
 			}
 			fmt.Printf("  %s size=%-4d spread=%.4f\n", marker, len(c.Hosts), c.Diameter)
 		}
@@ -446,7 +472,8 @@ func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ck
 
 // runReport is the JSON document -metrics emits: trace metadata plus the
 // full metrics snapshot (per-stage durations, survivor-count gauges, and
-// I/O counters).
+// I/O counters). Prune summarizes the θ_hm pruning engine's pair
+// accounting when -hm-prune or -hm-cut engaged it.
 type runReport struct {
 	Tool           string                   `json:"tool"`
 	Trace          string                   `json:"trace"`
@@ -454,6 +481,7 @@ type runReport struct {
 	Records        int                      `json:"records"`
 	ElapsedSeconds float64                  `json:"elapsed_seconds"`
 	Checkpoint     *checkpointReport        `json:"checkpoint,omitempty"`
+	Prune          *plotters.PruneReport    `json:"prune,omitempty"`
 	Metrics        plotters.MetricsSnapshot `json:"metrics"`
 }
 
@@ -481,6 +509,9 @@ func writeReport(path, trace, format string, records int, elapsed time.Duration,
 		ElapsedSeconds: elapsed.Seconds(),
 		Checkpoint:     ckpt,
 		Metrics:        reg.TakeSnapshot(),
+	}
+	if pr, ok := plotters.PruneSummary(report.Metrics); ok {
+		report.Prune = &pr
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")

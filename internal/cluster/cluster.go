@@ -18,7 +18,14 @@ import (
 var ErrNoItems = errors.New("cluster: no items")
 
 // DistFunc reports the distance between items i and j. It must be
-// symmetric and non-negative; it is only ever called with i != j.
+// symmetric and non-negative; it is only ever called with i != j. A
+// +Inf value is the above-cut sentinel a pruned distance matrix stores
+// for pairs whose distance provably exceeds the clustering cut (see
+// internal/distmatrix): legal input, treated as "further than anything
+// finite". The Lance–Williams average absorbs it — any cluster pair
+// containing a sentinel member pair averages to +Inf — so sentinel
+// links can only form after every finite merge, and a top-fraction cut
+// that removes them never merges across a sentinel.
 type DistFunc func(i, j int) float64
 
 // Merge records one agglomeration step. Cluster ids 0..n-1 are the
@@ -90,7 +97,10 @@ func Agglomerate(n int, dist DistFunc) (*Dendrogram, error) {
 	}
 
 	// rowmin[i] is min over active j > i of mat[i][j]; nn[i] the smallest
-	// such j attaining it (-1 / +Inf when row i has no active successor).
+	// such j attaining it (-1 / +Inf when row i has no active successor
+	// with a finite distance — sentinel entries are deliberately never
+	// cached, so a row of sentinels looks identical to an empty row and
+	// the selection loop's fallback handles both).
 	// Scanning j ascending with a strict < reproduces the smallest-j tie
 	// break of a full rescan.
 	rowmin := make([]float64, n)
@@ -122,7 +132,30 @@ func Agglomerate(n int, dist DistFunc) (*Dendrogram, error) {
 				bi = i
 			}
 		}
-		bj := nn[bi]
+		var bj int
+		if bi < 0 {
+			// Every remaining inter-cluster distance is the above-cut
+			// sentinel (+Inf): the nearest-neighbor cache records finite
+			// distances only, so no row qualified. A pruned θ_hm matrix
+			// produces exactly this once the below-cut structure has
+			// merged. Finish the dendrogram deterministically — the two
+			// smallest active slots, weight +Inf — so CutTopFraction
+			// removes these links first and never merges across a
+			// sentinel.
+			for i := 0; i < n && bi < 0; i++ {
+				if active[i] {
+					bi = i
+				}
+			}
+			bj = -1
+			for j := bi + 1; j < n && bj < 0; j++ {
+				if active[j] {
+					bj = j
+				}
+			}
+		} else {
+			bj = nn[bi]
+		}
 		parent := n + step
 		d.merges = append(d.merges, Merge{A: slotID[bi], B: slotID[bj], Parent: parent, Weight: best})
 

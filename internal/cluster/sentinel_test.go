@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// matDist adapts a literal matrix to a DistFunc.
+func matDist(m [][]float64) DistFunc {
+	return func(i, j int) float64 { return m[i][j] }
+}
+
+// TestAgglomerateAllSentinel: a matrix of nothing but above-cut
+// sentinels must not panic (the nearest-neighbor cache holds no finite
+// entry, so selection falls back) and must finish the dendrogram
+// deterministically: smallest slots first, every link +Inf.
+func TestAgglomerateAllSentinel(t *testing.T) {
+	inf := math.Inf(1)
+	n := 4
+	d, err := Agglomerate(n, func(i, j int) float64 { return inf })
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := d.Merges()
+	if len(merges) != n-1 {
+		t.Fatalf("got %d merges, want %d", len(merges), n-1)
+	}
+	for k, m := range merges {
+		if !math.IsInf(m.Weight, 1) {
+			t.Errorf("merge %d weight = %v, want +Inf", k, m.Weight)
+		}
+	}
+	// Deterministic chain: (0,1)->4, (4,2)->5, (5,3)->6.
+	want := []Merge{{A: 0, B: 1, Parent: 4, Weight: inf}, {A: 4, B: 2, Parent: 5, Weight: inf}, {A: 5, B: 3, Parent: 6, Weight: inf}}
+	if !reflect.DeepEqual(merges, want) {
+		t.Errorf("merges = %+v, want %+v", merges, want)
+	}
+	// Cutting the sentinel links yields all singletons.
+	got := d.Cut(3)
+	if len(got) != 4 {
+		t.Errorf("Cut(3) = %v, want 4 singletons", got)
+	}
+}
+
+// TestAgglomerateSentinelPartition: two finite clumps separated by
+// sentinels merge internally first (exact finite weights), the sentinel
+// links form last, and cutting them recovers the partition — no merge
+// ever crosses a sentinel below the cut.
+func TestAgglomerateSentinelPartition(t *testing.T) {
+	inf := math.Inf(1)
+	// Items 0,1,2 are close; 3,4 are close; the groups are unbridgeable.
+	m := [][]float64{
+		{0, 1, 2, inf, inf},
+		{1, 0, 1.5, inf, inf},
+		{2, 1.5, 0, inf, inf},
+		{inf, inf, inf, 0, 0.5},
+		{inf, inf, inf, 0.5, 0},
+	}
+	d, err := Agglomerate(5, matDist(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := d.Merges()
+	if len(merges) != 4 {
+		t.Fatalf("got %d merges", len(merges))
+	}
+	// Finite merges first: (3,4)@0.5, (0,1)@1, ({0,1},2)@1.75; sentinel
+	// link last.
+	if merges[0].Weight != 0.5 || merges[0].A != 3 || merges[0].B != 4 {
+		t.Errorf("merge 0 = %+v, want (3,4)@0.5", merges[0])
+	}
+	if merges[1].Weight != 1 || merges[1].A != 0 || merges[1].B != 1 {
+		t.Errorf("merge 1 = %+v, want (0,1)@1", merges[1])
+	}
+	if merges[2].Weight != 1.75 {
+		t.Errorf("merge 2 = %+v, want weight 1.75", merges[2])
+	}
+	if !math.IsInf(merges[3].Weight, 1) {
+		t.Errorf("final merge weight = %v, want +Inf", merges[3].Weight)
+	}
+	// One removed link (the sentinel) recovers the partition.
+	got := d.Cut(1)
+	want := [][]int{{0, 1, 2}, {3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Cut(1) = %v, want %v", got, want)
+	}
+}
+
+// TestAgglomerateSentinelMatchesHugeFinite: replacing sentinels with a
+// finite distance vastly above every real one must produce the same
+// merge structure (sentinels behave as "very far", not as a special
+// control path), with only the link weights differing on the far links.
+func TestAgglomerateSentinelMatchesHugeFinite(t *testing.T) {
+	inf := math.Inf(1)
+	base := [][]float64{
+		{0, 1, 9, 9},
+		{1, 0, 9, 9},
+		{9, 9, 0, 2},
+		{9, 9, 2, 0},
+	}
+	sent := [][]float64{
+		{0, 1, inf, inf},
+		{1, 0, inf, inf},
+		{inf, inf, 0, 2},
+		{inf, inf, 2, 0},
+	}
+	df, err := Agglomerate(4, matDist(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Agglomerate(4, matDist(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, ms := df.Merges(), ds.Merges()
+	for k := range mf {
+		if mf[k].A != ms[k].A || mf[k].B != ms[k].B || mf[k].Parent != ms[k].Parent {
+			t.Errorf("merge %d structure differs: finite %+v, sentinel %+v", k, mf[k], ms[k])
+		}
+	}
+}
+
+// TestDiameterSentinel: spread statistics over members that include a
+// sentinel pair report +Inf — the caller's signal that the cut was too
+// tight for this cluster.
+func TestDiameterSentinel(t *testing.T) {
+	inf := math.Inf(1)
+	m := [][]float64{
+		{0, 1, inf},
+		{1, 0, 2},
+		{inf, 2, 0},
+	}
+	if got := Diameter([]int{0, 1, 2}, matDist(m)); !math.IsInf(got, 1) {
+		t.Errorf("Diameter = %v, want +Inf", got)
+	}
+	if got := MeanPairwise([]int{0, 1, 2}, matDist(m)); !math.IsInf(got, 1) {
+		t.Errorf("MeanPairwise = %v, want +Inf", got)
+	}
+	if got := Diameter([]int{0, 1}, matDist(m)); got != 1 {
+		t.Errorf("finite-pair Diameter = %v, want 1", got)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"plotters/internal/emd"
+	"plotters/internal/flow"
+	"plotters/internal/metrics"
+)
+
+// pruneCfg is the shared θ_hm operating point for the equivalence
+// tests: same shape as the parallel-correctness tests so the corpus
+// yields a rich dendrogram (several bot families plus human hosts).
+func pruneCfg() Config {
+	cfg := DefaultConfig()
+	cfg.MinInterstitialSamples = 30
+	cfg.CutFraction = 0.3
+	return cfg
+}
+
+// runHM runs θ_hm over an already-extracted feature source so the
+// per-configuration cost is only the clustering, not re-extraction.
+func runHM(t testing.TB, src flow.FeatureSource, cfg Config) HMResult {
+	t.Helper()
+	a, err := NewAnalysisFromSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.HMTest(a.Hosts(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func pruneSource(t testing.TB) flow.FeatureSource {
+	t.Helper()
+	cfg := pruneCfg()
+	return flow.ExtractFeatureSet(parallelCorpus(t), flow.FeatureOptions{
+		NewPeerGrace: cfg.NewPeerGrace,
+	}, flow.Window{})
+}
+
+// TestHMTestPruneEquivalenceRandomCuts is the satellite property: for
+// random cut thresholds — spanning "gates nothing" through "gates
+// everything" — the pruned θ_hm (prefilter + pivots, sequential and
+// parallel) is bit-identical to the exhaustive-then-gated reference
+// (HMPrune off, same HMCut), which computes every exact distance and
+// only then applies the sentinel. This is the gated-matrix invariant
+// surfacing at the pipeline level.
+func TestHMTestPruneEquivalenceRandomCuts(t *testing.T) {
+	src := pruneSource(t)
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Log-uniform over ~[0.002, 20]: EMD on the log-time axis for
+		// this corpus lives around 0.01–3, so the range crosses from
+		// all-sentinel to no-op gating.
+		cut := math.Exp(rng.Float64()*9 - 6)
+		base := pruneCfg()
+		base.HMCut = cut
+		base.Parallelism = 1
+		want := runHM(t, src, base)
+		for _, par := range []int{1, 0} {
+			cfg := base
+			cfg.HMPrune = true
+			cfg.Parallelism = par
+			got := runHM(t, src, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("cut=%v parallelism=%d:\n got: %+v\nwant: %+v", cut, par, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHMTestAutoCalibratedPruneMatchesExhaustive pins the headline
+// guarantee: HMPrune with no explicit cut auto-calibrates one wide
+// enough that the pruned run reproduces the plain exhaustive run —
+// same merges, same diameters, same τ_hm, same Kept set — while the
+// engine's counters show pairs were actually skipped.
+func TestHMTestAutoCalibratedPruneMatchesExhaustive(t *testing.T) {
+	src := pruneSource(t)
+	want := runHM(t, src, pruneCfg())
+
+	reg := metrics.New()
+	cfg := pruneCfg()
+	cfg.HMPrune = true
+	cfg.Metrics = reg
+	got := runHM(t, src, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("auto-calibrated pruned run diverged from exhaustive\n got: %+v\nwant: %+v", got, want)
+	}
+
+	snap := reg.TakeSnapshot()
+	total := snap.Counters["distmatrix/pairs_total"]
+	if total == 0 {
+		t.Fatal("pruned run recorded no pairs_total: pruning engine not engaged")
+	}
+	pruned := snap.Counters["distmatrix/pairs_pruned_bound"] + snap.Counters["distmatrix/pairs_pruned_pivot"]
+	if pruned == 0 {
+		t.Error("pruned run skipped no pairs on a multi-family corpus")
+	}
+	if gauge := snap.Gauges["pipeline/hm/cut_microemd"]; gauge <= 0 {
+		t.Errorf("cut_microemd gauge = %d, want > 0 (calibrated cut recorded)", gauge)
+	}
+	if overcut := snap.Gauges["pipeline/hm/overcut"]; overcut != 0 {
+		t.Errorf("overcut gauge = %d, want 0: calibrated cut must dominate every surviving diameter", overcut)
+	}
+}
+
+// TestHMTestOvercutClamped: an explicit cut far below the data's real
+// spreads forces sentinel pairs inside surviving clusters. The result
+// must stay finite (diameters clamped, JSON-safe), the overcut gauge
+// must record the event, and the pruned path must still match the
+// gated exhaustive reference.
+func TestHMTestOvercutClamped(t *testing.T) {
+	src := pruneSource(t)
+	const tiny = 1e-6
+	base := pruneCfg()
+	base.HMCut = tiny
+	want := runHM(t, src, base)
+
+	reg := metrics.New()
+	cfg := pruneCfg()
+	cfg.HMCut = tiny
+	cfg.HMPrune = true
+	cfg.Metrics = reg
+	got := runHM(t, src, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("pruned overcut run diverged from gated exhaustive\n got: %+v\nwant: %+v", got, want)
+	}
+	for _, c := range got.Clusters {
+		if math.IsInf(c.Diameter, 0) || math.IsNaN(c.Diameter) {
+			t.Errorf("cluster diameter %v not clamped to a finite value", c.Diameter)
+		}
+	}
+	if math.IsInf(got.Threshold, 0) || math.IsNaN(got.Threshold) {
+		t.Errorf("τ_hm = %v not finite", got.Threshold)
+	}
+	snap := reg.TakeSnapshot()
+	if snap.Gauges["pipeline/hm/overcut"] == 0 {
+		t.Error("overcut gauge = 0: a 1e-6 cut must sentinel some surviving cluster's pairs")
+	}
+}
+
+// TestCalibrateCutSubsample drives calibrateCut through the stride
+// subsample path (population larger than hmCalibrationSample) and the
+// degenerate all-identical population.
+func TestCalibrateCutSubsample(t *testing.T) {
+	build := func(centers []float64) []*emd.Signature {
+		out := make([]*emd.Signature, len(centers))
+		for i, c := range centers {
+			s, err := emd.NewSignature([]float64{c, c + 1, c + 2}, []float64{1, 2, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = s
+		}
+		return out
+	}
+	// Two tight families well apart, with continuous intra-family
+	// jitter (so surviving clusters have positive diameters and the
+	// no-multi-member fallback stays out of play): the calibrated cut
+	// must cover the intra-family spread and stay below the
+	// inter-family distance so pruning has something to skip.
+	centers := make([]float64, 3*hmCalibrationSample)
+	for i := range centers {
+		centers[i] = float64(i%2)*50 + 0.001*float64(i)
+	}
+	cut, err := calibrateCut(build(centers), pruneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut <= 0 {
+		t.Fatalf("calibrated cut = %v, want > 0", cut)
+	}
+	if cut >= 50 {
+		t.Errorf("calibrated cut = %v spans the inter-family gap: nothing would prune", cut)
+	}
+
+	// Identical histograms everywhere: all distances zero, fallback 1×safety.
+	flat := make([]float64, 2*hmCalibrationSample)
+	cut, err = calibrateCut(build(flat), pruneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != hmCutSafety {
+		t.Errorf("degenerate calibration cut = %v, want %v", cut, hmCutSafety)
+	}
+}
+
+func TestConfigHMCutValidation(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		cfg := DefaultConfig()
+		cfg.HMCut = bad
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("HMCut = %v accepted", bad)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.HMCut = 0.25
+	cfg.HMPrune = true
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid prune config rejected: %v", err)
+	}
+}

@@ -1,0 +1,457 @@
+package distmatrix
+
+// The pruned distance engine: the matrix fill used when Options.Cut > 0.
+//
+// Exact distances only matter below the cut — the θ_hm agglomerative
+// clustering this package serves never merges across the cut, so any
+// pair provably above it can be stored as Sentinel without computing it.
+// Layers, cheapest first:
+//
+//  1. prefilter — Options.Bound, an admissible lower bound (for θ_hm, the
+//     coarsened-CDF L1 distance from internal/emd). One branch-free pass
+//     per row discards the bulk of above-cut pairs.
+//  2. pivot triangle pruning — exact distances from every item to k
+//     pivots (deterministic farthest-point selection) give the metric
+//     lower bound max_p |d(i,p) − d(j,p)| for pairs the prefilter let
+//     through.
+//  3. exact evaluation — survivors get the real DistFunc call; values
+//     above the cut are still stored as Sentinel (the gate).
+//
+// The invariant all equivalence tests pin: the finished matrix is a pure
+// function of the exact distances and the cut. Pruning layers decide how
+// many exact evaluations are spent producing it, never what it contains.
+//
+// Error determinism with pruning active: the reported error is the first
+// erroring pair in the engine's deterministic evaluation order — pivot
+// rows in selection order, then the remaining pairs lexicographically,
+// pruned pairs excluded (they are never evaluated). The sequential and
+// parallel paths report the identical pair, via the same error-bound
+// ratchet the exhaustive parallel path uses.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plotters/internal/metrics"
+)
+
+// engine holds the shared state of one pruned matrix fill.
+type engine struct {
+	m    *Matrix
+	dist DistFunc
+	// cut gates stored values; threshold (cut plus relative slack) gates
+	// lower bounds, absorbing float rounding between bound and exact.
+	cut       float64
+	threshold float64
+	bound     BoundFunc
+	// pivotSlot[i] >= 0 marks item i as pivot #pivotSlot[i]; pivotD[t][j]
+	// is the exact distance from pivot t to item j. Pivot rows are fully
+	// written into the matrix during selection, so the main fill skips
+	// any pair touching a pivot.
+	pivotSlot []int32
+	pivotD    [][]float64
+
+	stats *PruneStats
+	reg   *metrics.Registry
+}
+
+// workerState is one worker's scratch and local tallies, flushed once at
+// worker exit so the per-pair loops carry no metrics calls.
+type workerState struct {
+	surv       []int32 // columns of the current row needing exact evaluation
+	sinceCheck int
+	stats      PruneStats
+	boundDur   time.Duration
+	exactDur   time.Duration
+}
+
+// newEngine validates pruning options and runs the pivot phase.
+func newEngine(ctx context.Context, m *Matrix, dist DistFunc, opts Options) (*engine, error) {
+	e := &engine{
+		m:         m,
+		dist:      dist,
+		cut:       opts.Cut,
+		threshold: opts.Cut * (1 + boundSlack),
+		bound:     opts.Bound,
+		stats:     opts.Stats,
+		reg:       opts.Metrics,
+	}
+	if k := opts.Pivots; k > 0 {
+		if k > m.n {
+			k = m.n
+		}
+		t := e.reg.StartStage("distmatrix/pivots")
+		err := e.selectPivots(ctx, k)
+		t.Stop()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// selectPivots picks k pivots by farthest-point traversal — item 0
+// first, then repeatedly the item maximizing its distance to the nearest
+// chosen pivot (ties toward the smallest index) — computing each pivot's
+// full exact distance row along the way. Farthest-point spreads pivots
+// across the metric space, which is what makes |d(i,p) − d(j,p)| sharp:
+// a pivot near i and far from j certifies a large d(i,j).
+func (e *engine) selectPivots(ctx context.Context, k int) error {
+	n := e.m.n
+	e.pivotSlot = make([]int32, n)
+	for i := range e.pivotSlot {
+		e.pivotSlot[i] = -1
+	}
+	e.pivotD = make([][]float64, 0, k)
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = Sentinel
+	}
+	done := ctx.Done()
+	st := &workerState{}
+	start := time.Now()
+	cur := 0
+	for t := 0; t < k; t++ {
+		e.pivotSlot[cur] = int32(t)
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if j == cur {
+				continue
+			}
+			if s := e.pivotSlot[j]; s >= 0 {
+				// Pair already computed (and counted) by an earlier
+				// pivot's row; reuse the symmetric entry.
+				row[j] = e.pivotD[s][cur]
+				continue
+			}
+			if st.sinceCheck++; st.sinceCheck >= ctxCheckStride && done != nil {
+				st.sinceCheck = 0
+				select {
+				case <-done:
+					e.flushWorker(st, start)
+					return ctx.Err()
+				default:
+				}
+			}
+			lo, hi := cur, j
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			v, err := e.dist(lo, hi)
+			st.stats.Total++
+			st.stats.Exact++
+			if err != nil {
+				e.flushWorker(st, start)
+				return pairError(lo, hi, err)
+			}
+			row[j] = v
+			e.m.set(lo, hi, e.gate(v, st))
+		}
+		e.pivotD = append(e.pivotD, row)
+		next := -1
+		best := -1.0
+		for j := 0; j < n; j++ {
+			if e.pivotSlot[j] >= 0 {
+				continue
+			}
+			if row[j] < minD[j] {
+				minD[j] = row[j]
+			}
+			if minD[j] > best {
+				best = minD[j]
+				next = j
+			}
+		}
+		if next < 0 {
+			break // every item is a pivot
+		}
+		cur = next
+	}
+	e.flushWorker(st, start)
+	return nil
+}
+
+// gate stores-or-sentinels one exactly-evaluated distance.
+func (e *engine) gate(v float64, st *workerState) float64 {
+	if v > e.cut {
+		st.stats.Gated++
+		return Sentinel
+	}
+	return v
+}
+
+// rowDone reports whether row i was fully written during the pivot phase.
+func (e *engine) rowDone(i int) bool {
+	return e.pivotSlot != nil && e.pivotSlot[i] >= 0
+}
+
+// boundRow runs the pruning layers over row i: pruned pairs get their
+// Sentinel written immediately, survivors' columns land in st.surv for
+// the exact pass.
+func (e *engine) boundRow(i int, st *workerState) {
+	st.surv = st.surv[:0]
+	n := e.m.n
+	for j := i + 1; j < n; j++ {
+		if e.pivotSlot != nil && e.pivotSlot[j] >= 0 {
+			continue // written (and counted) in the pivot phase
+		}
+		st.stats.Total++
+		if e.bound != nil {
+			if lb := e.bound(i, j); lb > e.threshold {
+				st.stats.PrunedBound++
+				e.m.set(i, j, Sentinel)
+				continue
+			}
+		}
+		if e.pivotD != nil && e.pivotTriBound(i, j) > e.threshold {
+			st.stats.PrunedPivot++
+			e.m.set(i, j, Sentinel)
+			continue
+		}
+		st.surv = append(st.surv, int32(j))
+	}
+}
+
+// pivotTriBound is max_p |d(i,p) − d(j,p)|, early-exiting once any pivot
+// certifies the pair above the threshold.
+func (e *engine) pivotTriBound(i, j int) float64 {
+	var best float64
+	for _, row := range e.pivotD {
+		d := row[i] - row[j]
+		if d < 0 {
+			d = -d
+		}
+		if d > best {
+			if d > e.threshold {
+				return d
+			}
+			best = d
+		}
+	}
+	return best
+}
+
+// flushWorker publishes one worker's tallies: atomic adds into the
+// caller's PruneStats and one batch of counter adds plus busy-time
+// observations into the registry.
+func (e *engine) flushWorker(st *workerState, start time.Time) {
+	if e.stats != nil {
+		atomic.AddInt64(&e.stats.Total, st.stats.Total)
+		atomic.AddInt64(&e.stats.PrunedBound, st.stats.PrunedBound)
+		atomic.AddInt64(&e.stats.PrunedPivot, st.stats.PrunedPivot)
+		atomic.AddInt64(&e.stats.Exact, st.stats.Exact)
+		atomic.AddInt64(&e.stats.Gated, st.stats.Gated)
+	}
+	if e.reg == nil {
+		return
+	}
+	e.reg.Counter("distmatrix/pairs").Add(st.stats.Exact)
+	e.reg.Counter("distmatrix/pairs_total").Add(st.stats.Total)
+	e.reg.Counter("distmatrix/pairs_pruned_bound").Add(st.stats.PrunedBound)
+	e.reg.Counter("distmatrix/pairs_pruned_pivot").Add(st.stats.PrunedPivot)
+	e.reg.Counter("distmatrix/pairs_gated").Add(st.stats.Gated)
+	e.reg.Histogram("distmatrix/worker_busy").Observe(time.Since(start))
+	e.reg.Histogram("distmatrix/prefilter_busy").Observe(st.boundDur)
+	e.reg.Histogram("distmatrix/exact_busy").Observe(st.exactDur)
+}
+
+// computeSeqPruned is the deterministic single-worker pruned fill: rows
+// ascending, each row bounded then exactly evaluated, stopping at the
+// first error.
+func computeSeqPruned(ctx context.Context, e *engine) error {
+	n := e.m.n
+	done := ctx.Done()
+	st := &workerState{surv: make([]int32, 0, n)}
+	start := time.Now()
+	timed := e.reg != nil
+	for i := 0; i < n-1; i++ {
+		if e.rowDone(i) {
+			continue
+		}
+		// The bound pass is cheap enough that polling the context once
+		// per row (plus every ctxCheckStride exact evaluations) keeps
+		// cancellation latency in the low milliseconds.
+		if done != nil {
+			select {
+			case <-done:
+				e.flushWorker(st, start)
+				return ctx.Err()
+			default:
+			}
+		}
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		e.boundRow(i, st)
+		if timed {
+			now := time.Now()
+			st.boundDur += now.Sub(t0)
+			t0 = now
+		}
+		for _, j32 := range st.surv {
+			j := int(j32)
+			if st.sinceCheck++; st.sinceCheck >= ctxCheckStride && done != nil {
+				st.sinceCheck = 0
+				select {
+				case <-done:
+					e.flushWorker(st, start)
+					return ctx.Err()
+				default:
+				}
+			}
+			v, err := e.dist(i, j)
+			st.stats.Exact++
+			if err != nil {
+				if timed {
+					st.exactDur += time.Since(t0)
+				}
+				e.flushWorker(st, start)
+				return pairError(i, j, err)
+			}
+			e.m.set(i, j, e.gate(v, st))
+		}
+		if timed {
+			st.exactDur += time.Since(t0)
+		}
+	}
+	e.flushWorker(st, start)
+	return nil
+}
+
+// computeParPruned shards the pruned fill across workers with the same
+// row-block cursor and error-bound ratchet as the exhaustive parallel
+// path (see computePar): the smallest erroring pair in the deterministic
+// pruned evaluation order wins, no matter which worker saw its error
+// first. Pruned pairs never error — they are never evaluated — so the
+// ratchet only tracks exact evaluations.
+func computeParPruned(ctx context.Context, e *engine, workers int) error {
+	n := e.m.n
+	totalPairs := n * (n - 1) / 2
+	targetPairs := totalPairs / (workers * 8)
+	if targetPairs < ctxCheckStride {
+		targetPairs = ctxCheckStride
+	}
+
+	var (
+		cursor   atomic.Int64
+		errBound atomic.Int64
+		errMu    sync.Mutex
+		errs     = map[int64]error{}
+		wg       sync.WaitGroup
+	)
+	errBound.Store(int64(n) * int64(n))
+
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
+	timed := e.reg != nil
+	worker := func() {
+		defer wg.Done()
+		st := &workerState{surv: make([]int32, 0, n)}
+		start := time.Now()
+		defer func() { e.flushWorker(st, start) }()
+		for {
+			claimStart := int(cursor.Load())
+			var end int
+			for {
+				if claimStart >= n-1 {
+					return
+				}
+				end = claimStart
+				pairs := 0
+				for end < n-1 && pairs < targetPairs {
+					pairs += n - 1 - end
+					end++
+				}
+				if cursor.CompareAndSwap(int64(claimStart), int64(end)) {
+					break
+				}
+				claimStart = int(cursor.Load())
+			}
+			for i := claimStart; i < end; i++ {
+				if e.rowDone(i) {
+					continue
+				}
+				rowBase := int64(i) * int64(n)
+				if rowBase+int64(i)+1 >= errBound.Load() {
+					return
+				}
+				if canceled() {
+					return
+				}
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
+				e.boundRow(i, st)
+				if timed {
+					now := time.Now()
+					st.boundDur += now.Sub(t0)
+					t0 = now
+				}
+				for _, j32 := range st.surv {
+					j := int(j32)
+					idx := rowBase + int64(j)
+					if idx >= errBound.Load() {
+						break
+					}
+					if st.sinceCheck++; st.sinceCheck >= ctxCheckStride {
+						st.sinceCheck = 0
+						if canceled() {
+							if timed {
+								st.exactDur += time.Since(t0)
+							}
+							return
+						}
+					}
+					v, err := e.dist(i, j)
+					st.stats.Exact++
+					if err != nil {
+						errMu.Lock()
+						errs[idx] = err
+						errMu.Unlock()
+						for {
+							cur := errBound.Load()
+							if idx >= cur || errBound.CompareAndSwap(cur, idx) {
+								break
+							}
+						}
+						break
+					}
+					e.m.set(i, j, e.gate(v, st))
+				}
+				if timed {
+					st.exactDur += time.Since(t0)
+				}
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	if canceled() {
+		return ctx.Err()
+	}
+	if bound := errBound.Load(); bound < int64(n)*int64(n) {
+		i, j := int(bound/int64(n)), int(bound%int64(n))
+		errMu.Lock()
+		err := errs[bound]
+		errMu.Unlock()
+		return pairError(i, j, err)
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package distmatrix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plotters/internal/metrics"
+)
+
+// lineMetric is a 1-D point set: dist(i,j) = |x_i − x_j| is a true
+// metric (so pivot pruning is sound), and coarse-rounded coordinates
+// give an admissible lower bound the same way the coarsened-CDF
+// signatures do for EMD.
+type lineMetric struct {
+	x []float64
+}
+
+func randLineMetric(rng *rand.Rand, n int) *lineMetric {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+	}
+	return &lineMetric{x: x}
+}
+
+func (l *lineMetric) dist(i, j int) (float64, error) {
+	return math.Abs(l.x[i] - l.x[j]), nil
+}
+
+// bound rounds both coordinates to a 0.5 grid: the rounded distance can
+// overshoot the true one by at most 0.5, so subtracting 0.5 is
+// admissible (clamped at zero) while still pruning far pairs.
+func (l *lineMetric) bound(i, j int) float64 {
+	const cell = 0.5
+	a := math.Round(l.x[i]/cell) * cell
+	b := math.Round(l.x[j]/cell) * cell
+	lb := math.Abs(a-b) - cell
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// gateMatrix applies the cut to an exhaustive matrix: the reference the
+// pruned engine must reproduce bit for bit.
+func gateMatrix(m *Matrix, cut float64) *Matrix {
+	n := m.N()
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := m.At(i, j)
+			if v > cut {
+				v = Sentinel
+			}
+			out.set(i, j, v)
+		}
+	}
+	return out
+}
+
+func matricesEqual(a, b *Matrix) (int, int, bool) {
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.N(); j++ {
+			if a.At(i, j) != b.At(i, j) {
+				return i, j, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// TestPrunedMatrixMatchesGatedExhaustive pins the engine's central
+// invariant: for random metrics and random cuts, the pruned matrix —
+// any combination of prefilter, pivots, sequential, parallel — is
+// bit-identical to the exhaustive matrix with the same cut applied
+// after the fact.
+func TestPrunedMatrixMatchesGatedExhaustive(t *testing.T) {
+	ctx := context.Background()
+	property := func(seed int64, nRaw, pivotsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%60
+		l := randLineMetric(rng, n)
+		cut := rng.Float64() * 60
+		exhaustive, err := Compute(ctx, n, l.dist, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gateMatrix(exhaustive, cut)
+		for _, cfg := range []Options{
+			{Parallelism: 1, Cut: cut},
+			{Parallelism: 1, Cut: cut, Bound: l.bound},
+			{Parallelism: 1, Cut: cut, Bound: l.bound, Pivots: 1 + int(pivotsRaw)%5},
+			{Parallelism: 4, SequentialCutoff: -1, Cut: cut, Bound: l.bound, Pivots: 1 + int(pivotsRaw)%5},
+			{Parallelism: 4, SequentialCutoff: -1, Cut: cut, Pivots: 3},
+		} {
+			got, err := Compute(ctx, n, l.dist, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i, j, ok := matricesEqual(got, want); !ok {
+				t.Logf("seed=%d n=%d cut=%v cfg=%+v: cell (%d,%d) = %v, want %v",
+					seed, n, cut, cfg, i, j, got.At(i, j), want.At(i, j))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrunedStatsAccounting: every pair is counted exactly once across
+// the pruning layers, the registry counters agree with the caller's
+// PruneStats, and pruning actually skips work on a spread-out input.
+func TestPrunedStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 120
+	l := randLineMetric(rng, n)
+	var st PruneStats
+	reg := metrics.New()
+	_, err := Compute(context.Background(), n, l.dist, Options{
+		Parallelism: 3, SequentialCutoff: -1,
+		Cut: 5, Bound: l.bound, Pivots: 4, Stats: &st, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(n * (n - 1) / 2)
+	if st.Total != total {
+		t.Errorf("Total = %d, want %d", st.Total, total)
+	}
+	if got := st.PrunedBound + st.PrunedPivot + st.Exact; got != total {
+		t.Errorf("PrunedBound+PrunedPivot+Exact = %d, want %d (%+v)", got, total, st)
+	}
+	if st.PrunedBound == 0 {
+		t.Error("prefilter pruned nothing on a spread-out input")
+	}
+	if st.Exact >= total/2 {
+		t.Errorf("Exact = %d of %d pairs: pruning ineffective", st.Exact, total)
+	}
+	if st.Gated > st.Exact {
+		t.Errorf("Gated = %d exceeds Exact = %d", st.Gated, st.Exact)
+	}
+	snap := reg.TakeSnapshot()
+	for name, want := range map[string]int64{
+		"distmatrix/pairs":              st.Exact,
+		"distmatrix/pairs_total":        st.Total,
+		"distmatrix/pairs_pruned_bound": st.PrunedBound,
+		"distmatrix/pairs_pruned_pivot": st.PrunedPivot,
+		"distmatrix/pairs_gated":        st.Gated,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestPrunedSentinelPlacement: below-cut pairs hold their exact values,
+// above-cut pairs hold Sentinel, the diagonal stays zero.
+func TestPrunedSentinelPlacement(t *testing.T) {
+	l := &lineMetric{x: []float64{0, 1, 2, 50, 51, 103}}
+	n := len(l.x)
+	m, err := Compute(context.Background(), n, l.dist, Options{
+		Parallelism: 1, Cut: 10, Bound: l.bound, Pivots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("diagonal (%d,%d) = %v", i, i, m.At(i, i))
+		}
+		for j := i + 1; j < n; j++ {
+			want, _ := l.dist(i, j)
+			got := m.At(i, j)
+			if want > 10 {
+				if !IsSentinel(got) {
+					t.Errorf("(%d,%d) = %v, want Sentinel (exact %v > cut)", i, j, got, want)
+				}
+			} else if got != want {
+				t.Errorf("(%d,%d) = %v, want exact %v", i, j, got, want)
+			}
+			if got != m.At(j, i) {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestPrunedErrorDeterminism: the sequential and parallel pruned paths
+// report the same erroring pair — the first one in the pruned
+// evaluation order — regardless of worker scheduling.
+func TestPrunedErrorDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 90
+	l := randLineMetric(rng, n)
+	errBoom := errors.New("boom")
+	// Fail every close pair in rows 40+: close pairs survive pruning, so
+	// the engine must reach one, and many will fail across workers.
+	dist := func(i, j int) (float64, error) {
+		v, _ := l.dist(i, j)
+		if i >= 40 && v < 20 {
+			return 0, errBoom
+		}
+		return v, nil
+	}
+	var seqPE, parPE *PairError
+	_, err := Compute(context.Background(), n, dist, Options{Parallelism: 1, Cut: 15, Bound: l.bound})
+	if !errors.As(err, &seqPE) {
+		t.Fatalf("sequential: expected PairError, got %v", err)
+	}
+	_, err = Compute(context.Background(), n, dist, Options{Parallelism: 8, SequentialCutoff: -1, Cut: 15, Bound: l.bound})
+	if !errors.As(err, &parPE) {
+		t.Fatalf("parallel: expected PairError, got %v", err)
+	}
+	if seqPE.I != parPE.I || seqPE.J != parPE.J {
+		t.Errorf("error pair: seq (%d,%d), par (%d,%d)", seqPE.I, seqPE.J, parPE.I, parPE.J)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("unwrap lost the distance error: %v", err)
+	}
+}
+
+// TestPrunedCancellation: a canceled context stops both pruned paths.
+func TestPrunedCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 80
+	l := randLineMetric(rng, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		_, err := Compute(ctx, n, l.dist, Options{Parallelism: par, SequentialCutoff: -1, Cut: 10, Bound: l.bound})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+// TestPrunedPivotSaturation: asking for more pivots than items must not
+// loop or double-count; with every item a pivot the matrix is complete
+// and exact evaluations cover each pair once.
+func TestPrunedPivotSaturation(t *testing.T) {
+	l := &lineMetric{x: []float64{3, 1, 4, 1.5, 9}}
+	n := len(l.x)
+	var st PruneStats
+	m, err := Compute(context.Background(), n, l.dist, Options{
+		Parallelism: 1, Cut: 100, Pivots: 50, Stats: &st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(n * (n - 1) / 2)
+	if st.Exact != total || st.Total != total {
+		t.Errorf("stats = %+v, want Total = Exact = %d", st, total)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			want, _ := l.dist(i, j)
+			if got := m.At(i, j); got != want {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestPrunedAdversarialBound: even a uselessly loose bound (always 0)
+// and a bound that lies within the slack margin keep the matrix correct
+// — layers may only skip pairs the cut proves irrelevant.
+func TestPrunedAdversarialBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 40
+	l := randLineMetric(rng, n)
+	cut := 20.0
+	exhaustive, err := Compute(context.Background(), n, l.dist, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gateMatrix(exhaustive, cut)
+	for name, bound := range map[string]BoundFunc{
+		"zero":  func(i, j int) float64 { return 0 },
+		"exact": func(i, j int) float64 { v, _ := l.dist(i, j); return v },
+	} {
+		got, err := Compute(context.Background(), n, l.dist, Options{Parallelism: 1, Cut: cut, Bound: bound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i, j, ok := matricesEqual(got, want); !ok {
+			t.Errorf("%s bound: cell (%d,%d) = %v, want %v", name, i, j, got.At(i, j), want.At(i, j))
+		}
+	}
+}
+
+func ExampleOptions_pruned() {
+	// Ten points in two far-apart clumps: with a cut of 5 every
+	// cross-clump pair is pruned or gated to the sentinel.
+	x := []float64{0, 1, 2, 3, 4, 100, 101, 102, 103, 104}
+	l := &lineMetric{x: x}
+	var st PruneStats
+	m, err := Compute(context.Background(), len(x), l.dist, Options{
+		Parallelism: 1, Cut: 5, Bound: l.bound, Pivots: 2, Stats: &st,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within: %v  across: sentinel=%v  exact evals: %d of %d\n",
+		m.At(0, 4), IsSentinel(m.At(0, 9)), st.Exact, st.Total)
+	// Output:
+	// within: 4  across: sentinel=true  exact evals: 29 of 45
+}

@@ -1,0 +1,77 @@
+// Pruned-path regression tests: the layered EMD pruning engine behind
+// Config.HMPrune must reproduce the exhaustive pipeline bit for bit on
+// the canonical evaluation corpus — same golden file, no separate
+// pruned golden — while demonstrably skipping exact EMD evaluations.
+package plotters_test
+
+import (
+	"reflect"
+	"testing"
+
+	"plotters"
+)
+
+// TestFindPlottersPrunedGolden runs the full pipeline with HMPrune on
+// (auto-calibrated cut: the corpus' clusterable hosts fit under the
+// calibration sample cap, so the cut is twice the true widest surviving
+// diameter and the equivalence theorem applies directly) and checks it
+// against the same pinned golden outcome as the exhaustive run, plus
+// in-process equality with an exhaustive run of the same overlay. The
+// engine's counters must show real pruning; anything else means the
+// prefilter silently degraded to exhaustive.
+func TestFindPlottersPrunedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis takes ~15s; skipped in -short mode")
+	}
+	ds := goldenDataset(t)
+
+	exhaustive := goldenDay(t, ds, plotters.DefaultConfig())
+	want, err := exhaustive.Analysis.FindPlotters()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := plotters.DefaultConfig()
+	cfg.HMPrune = true
+	reg := plotters.NewMetrics()
+	cfg.Metrics = reg
+	day := goldenDay(t, ds, cfg)
+	got, err := day.Analysis.FindPlotters()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compareGolden(t, resultToGolden(day, got), loadGolden(t))
+	if !reflect.DeepEqual(got.HM, want.HM) {
+		t.Errorf("pruned θ_hm diverged from exhaustive:\n got: %+v\nwant: %+v", got.HM, want.HM)
+	}
+	if !reflect.DeepEqual(got.Suspects, want.Suspects) {
+		t.Errorf("pruned suspects = %v, want %v", got.Suspects.Sorted(), want.Suspects.Sorted())
+	}
+
+	snap := reg.TakeSnapshot()
+	total := snap.Counters["distmatrix/pairs_total"]
+	exact := snap.Counters["distmatrix/pairs"]
+	pruned := snap.Counters["distmatrix/pairs_pruned_bound"] + snap.Counters["distmatrix/pairs_pruned_pivot"]
+	if total == 0 {
+		t.Fatal("pairs_total = 0: pruning engine never engaged")
+	}
+	if pruned == 0 {
+		t.Error("no pairs pruned on the evaluation corpus")
+	}
+	// The gated main matrix partitions exactly: every pair is either
+	// evaluated exactly or pruned by a layer. The calibration mini-matrix
+	// is accounted separately (pipeline/hm/calibration_pairs) — honest
+	// accounting, since calibration is part of the pruned path's cost;
+	// the ≤10% acceptance ratio is measured at bench scale (n ≥ 4096),
+	// where that fixed cost amortizes.
+	if exact+pruned != total {
+		t.Errorf("accounting: exact(%d) + pruned(%d) != gated total(%d)", exact, pruned, total)
+	}
+	if calib := snap.Counters["pipeline/hm/calibration_pairs"]; calib == 0 {
+		t.Error("calibration_pairs = 0: auto-calibration never ran its mini-matrix")
+	}
+	if gauge := snap.Gauges["pipeline/hm/cut_microemd"]; gauge <= 0 {
+		t.Errorf("cut_microemd gauge = %d, want > 0", gauge)
+	}
+}
