@@ -46,6 +46,8 @@ func run() error {
 		hmPrune   = flag.Bool("hm-prune", false, "prune the θ_hm distance matrix: skip exact EMD for pairs provably above the clustering cut (identical figures)")
 		hmCut     = flag.Float64("hm-cut", 0, "explicit θ_hm prune/gate distance (0 = auto-calibrate when -hm-prune is set)")
 		metricsTo = flag.String("metrics", "", "write cumulative pipeline stage timings to this file as JSON")
+		detectors = flag.String("detectors", "findplotters", "comma-separated detectors run per day: findplotters, community. More than one appends the ensemble precision/recall table")
+		voteK     = flag.Int("vote-k", 0, "k for the ensemble k-of-n vote combiner (0 = majority)")
 	)
 	flag.Parse()
 
@@ -77,7 +79,11 @@ func run() error {
 		reg = plotters.NewMetrics()
 		pipeCfg.Metrics = reg
 	}
-	suite, err := plotters.NewSuite(ds, pipeCfg, *seed+1)
+	dets, err := buildDetectors(*detectors, pipeCfg)
+	if err != nil {
+		return err
+	}
+	suite, err := plotters.NewSuiteDetectors(ds, pipeCfg, *seed+1, dets)
 	if err != nil {
 		return err
 	}
@@ -116,6 +122,12 @@ func run() error {
 			return fmt.Errorf("baseline comparison: %w", err)
 		}
 	}
+	if dets != nil {
+		fmt.Fprintln(os.Stderr, "scoring detector ensemble...")
+		if err := printEnsemble(suite, *voteK); err != nil {
+			return fmt.Errorf("ensemble: %w", err)
+		}
+	}
 	if reg != nil {
 		snap := reg.TakeSnapshot()
 		if pr, ok := plotters.PruneSummary(snap); ok {
@@ -137,6 +149,84 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "pipeline metrics written to %s\n", *metricsTo)
 	}
+	return nil
+}
+
+// buildDetectors parses the -detectors list. The default spec (the paper
+// pipeline alone) returns nil, keeping the suite on its original
+// single-detector path.
+func buildDetectors(spec string, cfg plotters.Config) ([]plotters.Detector, error) {
+	names := strings.Split(spec, ",")
+	var out []plotters.Detector
+	seen := map[string]bool{}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-detectors lists %q twice", name)
+		}
+		seen[name] = true
+		switch name {
+		case plotters.PaperDetectorName:
+			det, err := plotters.NewPaperDetector(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, det)
+		case plotters.CommunityDetectorName:
+			ccfg := plotters.DefaultCommunityConfig()
+			ccfg.Metrics = cfg.Metrics
+			det, err := plotters.NewCommunityDetector(ccfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, det)
+		default:
+			return nil, fmt.Errorf("unknown detector %q (have: %s, %s)",
+				name, plotters.PaperDetectorName, plotters.CommunityDetectorName)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-detectors lists no detectors")
+	}
+	if len(out) == 1 && seen[plotters.PaperDetectorName] {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// printEnsemble scores every configured detector and the ensemble
+// combiners (union, intersection, k-of-n vote) against ground truth.
+func printEnsemble(s *plotters.Suite, voteK int) error {
+	r, err := s.Ensemble(voteK)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("## Detector ensemble: precision/recall per day (detectors: %s; vote k=%d)\n",
+		strings.Join(r.Detectors, ", "), r.VoteK)
+	fmt.Println("# day\tset\tTP\tFP\tprecision\trecall")
+	row := func(day, set string, rates eval.Rates) {
+		fmt.Printf("%s\t%s\t%d\t%d\t%.4f\t%.4f\n",
+			day, set, rates.TP, rates.FP, rates.Precision(), rates.Recall())
+	}
+	for _, d := range r.Days {
+		day := fmt.Sprintf("%d", d.Day)
+		for i, name := range r.Detectors {
+			row(day, name, d.PerDetector[i])
+		}
+		row(day, "union", d.Union)
+		row(day, "intersection", d.Intersection)
+		row(day, fmt.Sprintf("vote-%d", r.VoteK), d.Vote)
+	}
+	for i, name := range r.Detectors {
+		row("all", name, r.PerDetector[i])
+	}
+	row("all", "union", r.Union)
+	row("all", "intersection", r.Intersection)
+	row("all", fmt.Sprintf("vote-%d", r.VoteK), r.Vote)
+	fmt.Println()
 	return nil
 }
 

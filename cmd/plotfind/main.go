@@ -87,6 +87,7 @@ func run() error {
 		hmPrune   = flag.Bool("hm-prune", false, "prune the θ_hm distance matrix: skip exact EMD for pairs provably above the clustering cut (identical detection output)")
 		hmCut     = flag.Float64("hm-cut", 0, "explicit θ_hm prune/gate distance (0 = auto-calibrate when -hm-prune is set)")
 		metricsTo = flag.String("metrics", "", "write a JSON run report (stage timings, survivor counts, I/O volume) to this file")
+		detectors = flag.String("detectors", "findplotters", "comma-separated detectors to run per window: findplotters, community. More than one prints per-detector and ensemble (union/intersection) suspect counts")
 		window    = flag.Duration("window", 0, "run continuous windowed detection with this window length instead of one batch run")
 		slide     = flag.Duration("slide", 0, "sliding-window step (0 = tumbling windows; requires -window, must divide it)")
 		shards    = flag.Int("shards", 0, "feature-store shard count for -window mode (0 = one per CPU)")
@@ -137,14 +138,20 @@ func run() error {
 	cfg.HMPrune = *hmPrune
 	cfg.HMCut = *hmCut
 
+	dets, err := buildDetectors(*detectors, cfg, reg)
+	if err != nil {
+		return err
+	}
+
 	if *window > 0 {
 		engCfg := plotters.EngineConfig{
-			Window:   *window,
-			Slide:    *slide,
-			Shards:   *shards,
-			MaxSkew:  *skew,
-			Internal: internal,
-			Core:     cfg,
+			Window:    *window,
+			Slide:     *slide,
+			Shards:    *shards,
+			MaxSkew:   *skew,
+			Internal:  internal,
+			Core:      cfg,
+			Detectors: dets,
 		}
 		var n int
 		var ckpt *checkpointReport
@@ -218,6 +225,12 @@ func run() error {
 		fmt.Printf("  %-16s flows=%-6d avgBytes/flow=%-9.1f failedRate=%.2f newIPFraction=%.2f\n",
 			h, f.Flows, f.AvgBytesPerFlow(), f.FailedRate(), f.NewPeerFraction())
 	}
+
+	if dets != nil {
+		if err := runBatchEnsemble(dets, res, records, internal, cfg, *verbose); err != nil {
+			return err
+		}
+	}
 	if len(res.HM.Clusters) > 0 {
 		fmt.Printf("\nθ_hm clusters:\n")
 		clusters := append([]plotters.HMCluster(nil), res.HM.Clusters...)
@@ -243,6 +256,93 @@ func run() error {
 		}
 		fmt.Printf("\nrun report written to %s\n", *metricsTo)
 	}
+	return nil
+}
+
+// buildDetectors parses the -detectors list into detector instances.
+// The default single-paper-pipeline spec returns nil, keeping the
+// engine's and the batch path's original single-detector behavior.
+func buildDetectors(spec string, cfg plotters.Config, reg *plotters.Metrics) ([]plotters.Detector, error) {
+	names := strings.Split(spec, ",")
+	var out []plotters.Detector
+	seen := map[string]bool{}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-detectors lists %q twice", name)
+		}
+		seen[name] = true
+		switch name {
+		case plotters.PaperDetectorName:
+			det, err := plotters.NewPaperDetector(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, det)
+		case plotters.CommunityDetectorName:
+			ccfg := plotters.DefaultCommunityConfig()
+			ccfg.Metrics = reg
+			det, err := plotters.NewCommunityDetector(ccfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, det)
+		default:
+			return nil, fmt.Errorf("unknown detector %q (have: %s, %s)",
+				name, plotters.PaperDetectorName, plotters.CommunityDetectorName)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-detectors lists no detectors")
+	}
+	if len(out) == 1 && seen[plotters.PaperDetectorName] {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// runBatchEnsemble runs the non-paper detectors of a batch invocation
+// over the already-loaded records (the paper verdict res is reused, not
+// recomputed) and prints per-detector and ensemble suspect counts.
+func runBatchEnsemble(dets []plotters.Detector, res *plotters.Result, records []plotters.Record, internal func(plotters.IP) bool, cfg plotters.Config, verbose bool) error {
+	src := plotters.ExtractFeatureSet(records, plotters.FeatureOptions{
+		Hosts:        internal,
+		NewPeerGrace: cfg.NewPeerGrace,
+	}, plotters.Window{})
+	detections := make([]*plotters.Detection, 0, len(dets))
+	for _, det := range dets {
+		if det.Name() == plotters.PaperDetectorName {
+			detections = append(detections, &plotters.Detection{
+				Detector: plotters.PaperDetectorName, Suspects: res.Suspects, Paper: res,
+			})
+			continue
+		}
+		dn, err := det.Detect(src)
+		if err != nil {
+			return err
+		}
+		detections = append(detections, dn)
+	}
+
+	fmt.Printf("\ndetector ensemble:\n")
+	for _, dn := range detections {
+		fmt.Printf("  %-14s suspects=%d", dn.Detector, len(dn.Suspects))
+		if rep, ok := dn.Details.(*plotters.CommunityReport); ok {
+			fmt.Printf("  graph: hosts=%d edges=%d communities=%d flagged=%d",
+				rep.GraphHosts, rep.GraphEdges, len(rep.Communities), len(rep.Flagged))
+		}
+		fmt.Println()
+		if verbose {
+			for _, h := range dn.Suspects.Sorted() {
+				fmt.Printf("    %s\n", h)
+			}
+		}
+	}
+	fmt.Printf("  union=%d intersection=%d\n",
+		len(plotters.UnionSuspects(detections)), len(plotters.IntersectSuspects(detections)))
 	return nil
 }
 
@@ -301,21 +401,37 @@ func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.Engine
 // only the portion of the window that actually elapsed.
 func windowPrinter(verbose bool) func(*plotters.WindowResult) error {
 	return func(res *plotters.WindowResult) error {
-		det := res.Detection
 		partial := ""
 		if res.Partial {
 			partial = " [partial]"
 		}
-		fmt.Printf("window %d %s%s: hosts=%d records=%d reduction=%d vol=%d churn=%d suspects=%d\n",
-			res.Index, res.Window, partial, res.Hosts, res.Records,
-			len(det.Reduction.Kept), len(det.Volume.Kept), len(det.Churn.Kept), len(det.Suspects))
-		if verbose {
-			feats := det.Analysis.Features()
-			for _, h := range det.Suspects.Sorted() {
-				hf := feats[h]
-				fmt.Printf("  %-16s flows=%-6d avgBytes/flow=%-9.1f failedRate=%.2f newIPFraction=%.2f\n",
-					h, hf.Flows, hf.AvgBytesPerFlow(), hf.FailedRate(), hf.NewPeerFraction())
+		if det := res.Detection; det != nil {
+			fmt.Printf("window %d %s%s: hosts=%d records=%d reduction=%d vol=%d churn=%d suspects=%d\n",
+				res.Index, res.Window, partial, res.Hosts, res.Records,
+				len(det.Reduction.Kept), len(det.Volume.Kept), len(det.Churn.Kept), len(det.Suspects))
+			if verbose {
+				feats := det.Analysis.Features()
+				for _, h := range det.Suspects.Sorted() {
+					hf := feats[h]
+					fmt.Printf("  %-16s flows=%-6d avgBytes/flow=%-9.1f failedRate=%.2f newIPFraction=%.2f\n",
+						h, hf.Flows, hf.AvgBytesPerFlow(), hf.FailedRate(), hf.NewPeerFraction())
+				}
 			}
+		} else {
+			// No paper pipeline in the detector set: the per-stage survivor
+			// counts do not exist, only the detector verdicts below.
+			fmt.Printf("window %d %s%s: hosts=%d records=%d\n",
+				res.Index, res.Window, partial, res.Hosts, res.Records)
+		}
+		if len(res.Detections) > 1 || res.Detection == nil {
+			parts := make([]string, 0, len(res.Detections))
+			for _, dn := range res.Detections {
+				parts = append(parts, fmt.Sprintf("%s=%d", dn.Detector, len(dn.Suspects)))
+			}
+			fmt.Printf("  detectors: %s; union=%d intersection=%d\n",
+				strings.Join(parts, " "),
+				len(plotters.UnionSuspects(res.Detections)),
+				len(plotters.IntersectSuspects(res.Detections)))
 		}
 		return nil
 	}

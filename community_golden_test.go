@@ -1,0 +1,133 @@
+// Golden regression test for the community detector: the mutual-contact
+// graph summary and the community suspect set on day 0 of the canonical
+// seed-42 evaluation corpus are pinned in testdata/community_golden.json.
+// Any change to synthesis, contact tracking, graph construction, label
+// propagation, or community scoring that moves the outcome fails here
+// first — and because the day runs through the multi-detector suite, the
+// test also proves the ensemble path leaves the paper pipeline's pinned
+// verdict (testdata/findplotters_golden.json) untouched.
+//
+// After an intentional behavior change, regenerate with:
+//
+//	go test -run TestCommunityGolden -update
+package plotters_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"plotters"
+)
+
+const communityGoldenPath = "testdata/community_golden.json"
+
+// communityGolden pins the community detector's outcome on day 0 of the
+// seed-42 evaluation corpus: the mutual-contact graph summary, the
+// flagged-community count, the suspect set, and the ensemble overlap
+// with the paper pipeline.
+type communityGolden struct {
+	GraphHosts   int      `json:"graph_hosts"`
+	GraphEdges   int      `json:"graph_edges"`
+	Communities  int      `json:"communities"`
+	Flagged      int      `json:"flagged_communities"`
+	Suspects     []string `json:"suspects"`
+	Union        int      `json:"ensemble_union"`
+	Intersection int      `json:"ensemble_intersection"`
+}
+
+func TestCommunityGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis takes ~15s; skipped in -short mode")
+	}
+	ds := goldenDataset(t)
+	cfg := plotters.DefaultConfig()
+	pd, err := plotters.NewPaperDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := plotters.NewCommunityDetector(plotters.DefaultCommunityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := plotters.NewSuiteDetectors(ds, cfg, 43, []plotters.Detector{pd, cd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, err := suite.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := day.Detections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 2 || dets[0].Detector != plotters.PaperDetectorName || dets[1].Detector != plotters.CommunityDetectorName {
+		t.Fatalf("detections = %+v, want [%s, %s]", dets, plotters.PaperDetectorName, plotters.CommunityDetectorName)
+	}
+
+	// The ensemble run must reproduce the paper pipeline's pinned golden
+	// outcome bit for bit: adding a second detector to the engine may not
+	// perturb the first.
+	compareGolden(t, resultToGolden(day, dets[0].Paper), loadGolden(t))
+
+	rep, ok := dets[1].Details.(*plotters.CommunityReport)
+	if !ok {
+		t.Fatalf("community detection Details = %T, want *plotters.CommunityReport", dets[1].Details)
+	}
+	suspects := dets[1].Suspects.Sorted()
+	strs := make([]string, len(suspects))
+	for i, h := range suspects {
+		strs[i] = h.String()
+	}
+	got := communityGolden{
+		GraphHosts:   rep.GraphHosts,
+		GraphEdges:   rep.GraphEdges,
+		Communities:  len(rep.Communities),
+		Flagged:      len(rep.Flagged),
+		Suspects:     strs,
+		Union:        len(plotters.UnionSuspects(dets)),
+		Intersection: len(plotters.IntersectSuspects(dets)),
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(communityGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(communityGoldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", communityGoldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(communityGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want communityGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.GraphHosts != want.GraphHosts || got.GraphEdges != want.GraphEdges {
+		t.Errorf("graph = %d hosts / %d edges, want %d / %d",
+			got.GraphHosts, got.GraphEdges, want.GraphHosts, want.GraphEdges)
+	}
+	if got.Communities != want.Communities || got.Flagged != want.Flagged {
+		t.Errorf("communities = %d (%d flagged), want %d (%d flagged)",
+			got.Communities, got.Flagged, want.Communities, want.Flagged)
+	}
+	if got.Union != want.Union || got.Intersection != want.Intersection {
+		t.Errorf("ensemble union/intersection = %d/%d, want %d/%d",
+			got.Union, got.Intersection, want.Union, want.Intersection)
+	}
+	if !reflect.DeepEqual(got.Suspects, want.Suspects) {
+		t.Errorf("community suspect set changed:\ngot  %v\nwant %v", got.Suspects, want.Suspects)
+	}
+}

@@ -1,0 +1,66 @@
+package community
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"plotters/internal/flow"
+)
+
+// benchContacts plants ~n/64 rendezvous groups of 16 hosts over a
+// shared destination pool plus per-host background noise — the shape a
+// campus window hands the detector.
+func benchContacts(n int) map[flow.IP][]flow.IP {
+	rng := rand.New(rand.NewSource(17))
+	contacts := make(map[flow.IP][]flow.IP, n)
+	for h := 0; h < n; h++ {
+		seen := make(map[flow.IP]bool)
+		var dsts []flow.IP
+		addDst := func(d flow.IP) {
+			if !seen[d] {
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+		}
+		if h%4 == 0 {
+			// Rendezvous member: 8 destinations from the group pool.
+			group := flow.IP(h / 64)
+			for k := 0; k < 8; k++ {
+				addDst(flow.IP(1_000_000) + group*100 + flow.IP(rng.Intn(20)))
+			}
+		}
+		// Background: 24 destinations from a large shared pool.
+		for k := 0; k < 24; k++ {
+			addDst(flow.IP(2_000_000 + rng.Intn(n*8)))
+		}
+		contacts[flow.IP(h+1)] = dsts
+	}
+	return contacts
+}
+
+// BenchmarkCommunityGraph measures graph construction plus label
+// propagation end to end, reporting edges/s for the bench-smoke step
+// summary.
+func BenchmarkCommunityGraph(b *testing.B) {
+	cfg := GraphConfig{MinSharedContacts: 3, MaxFanIn: 64}
+	for _, n := range []int{1024, 4096} {
+		contacts := benchContacts(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var edges int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := BuildGraph(contacts, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				Propagate(g, 0)
+				edges = g.Edges()
+			}
+			if edges == 0 {
+				b.Fatal("benchmark graph has no edges; planted groups missing")
+			}
+			b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+// detectorRecords builds a small mixed population that survives every
+// pipeline stage (mirrors TestFindPlottersEndToEnd's shape).
+func detectorRecords() []flow.Record {
+	var records []flow.Record
+	for i := 0; i < 3; i++ {
+		bot := mkHost{addr: flow.IP(i + 1), flows: 150, failEach: 2, bytes: 80,
+			peers: 3, period: 30 * time.Second}
+		records = append(records, bot.records()...)
+	}
+	for i := 0; i < 6; i++ {
+		human := mkHost{addr: flow.IP(i + 10), flows: 150, failEach: 15, bytes: 3000,
+			peers: 3, period: 30 * time.Second, jitterNS: int64(2+i) * 1e9}
+		records = append(records, human.records()...)
+	}
+	return records
+}
+
+// The PaperDetector must be FindPlotters behind the Detector seam:
+// identical suspect set, full Result attached, stable name.
+func TestPaperDetectorMatchesFindPlotters(t *testing.T) {
+	records := detectorRecords()
+	cfg := DefaultConfig()
+
+	direct, err := FindPlotters(records, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := NewPaperDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Name() != PaperName {
+		t.Errorf("Name() = %q, want %q", det.Name(), PaperName)
+	}
+	src := flow.ExtractFeatureSet(records, flow.FeatureOptions{NewPeerGrace: cfg.NewPeerGrace}, flow.Window{})
+	d, err := det.Detect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Detector != PaperName {
+		t.Errorf("Detection.Detector = %q, want %q", d.Detector, PaperName)
+	}
+	if !reflect.DeepEqual(d.Suspects, direct.Suspects) {
+		t.Errorf("suspects differ:\ndetector %v\ndirect   %v",
+			d.Suspects.Sorted(), direct.Suspects.Sorted())
+	}
+	if d.Paper == nil {
+		t.Fatal("Detection.Paper is nil for the paper detector")
+	}
+	if !reflect.DeepEqual(d.Paper.Suspects, d.Suspects) {
+		t.Error("Detection.Paper.Suspects disagrees with Detection.Suspects")
+	}
+	if len(d.Paper.Reduction.Kept) != len(direct.Reduction.Kept) ||
+		len(d.Paper.Volume.Kept) != len(direct.Volume.Kept) ||
+		len(d.Paper.Churn.Kept) != len(direct.Churn.Kept) {
+		t.Error("stage survivor counts differ between detector and direct run")
+	}
+}
+
+// An invalid configuration must fail at construction, not at detect
+// time.
+func TestNewPaperDetectorValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VolPercentile = 150
+	if _, err := NewPaperDetector(cfg); err == nil {
+		t.Error("expected validation error")
+	}
+}

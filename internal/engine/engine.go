@@ -78,6 +78,13 @@ type Config struct {
 	// set, also instruments the engine ("engine/..." stages and
 	// window gauges) and the sharded store.
 	Core core.Config
+	// Detectors, when non-empty, lists the detectors run over every
+	// sealed window, in order (the multi-detector framework: the paper
+	// pipeline and the mutual-contact community detector are the two
+	// stock implementations). Empty means the paper pipeline alone,
+	// configured by Core — the original single-detector behavior, bit
+	// for bit.
+	Detectors []core.Detector
 }
 
 // Validate checks the configuration.
@@ -116,9 +123,16 @@ type Result struct {
 	Hosts int
 	// Records is the number of flow records attributed to those hosts.
 	Records int
-	// Detection is the full FindPlotters outcome over the window,
-	// every intermediate stage included.
+	// Detection is the full FindPlotters outcome over the window, every
+	// intermediate stage included — nil when Config.Detectors excludes
+	// the paper pipeline. Kept alongside Detections so single-detector
+	// consumers need no unwrapping.
 	Detection *core.Result
+	// Detections holds every configured detector's verdict over the
+	// window, in Config.Detectors order (the default configuration runs
+	// the paper pipeline alone, so Detections has one element whose
+	// Paper field is Detection).
+	Detections []*core.Detection
 	// Partial marks a window sealed by Flush before the feed reached
 	// its nominal end: the result covers only the traffic observed up
 	// to the flush frontier, so its verdicts are provisional (the
@@ -131,11 +145,12 @@ type Result struct {
 // store underneath accepts concurrent Add, but window bookkeeping is
 // single-writer by design — one boundary decision per record).
 type WindowedDetector struct {
-	cfg     Config
-	emit    func(*Result) error
-	store   *flow.ShardedExtractor
-	paneDur time.Duration
-	k       int // panes per window (1 = tumbling)
+	cfg       Config
+	emit      func(*Result) error
+	store     *flow.ShardedExtractor
+	detectors []core.Detector
+	paneDur   time.Duration
+	k         int // panes per window (1 = tumbling)
 
 	started  bool
 	origin   time.Time
@@ -165,12 +180,21 @@ func New(cfg Config, emit func(*Result) error) (*WindowedDetector, error) {
 		NewPeerGrace: cfg.Core.NewPeerGrace,
 	}, cfg.Shards, cfg.MaxSkew).Metrics(cfg.Core.Metrics)
 	store.CarryFirstSeen(cfg.CarryFirstSeen)
+	detectors := cfg.Detectors
+	if len(detectors) == 0 {
+		pd, err := core.NewPaperDetector(cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		detectors = []core.Detector{pd}
+	}
 	d := &WindowedDetector{
-		cfg:     cfg,
-		emit:    emit,
-		store:   store,
-		paneDur: paneDur,
-		k:       k,
+		cfg:       cfg,
+		emit:      emit,
+		store:     store,
+		detectors: detectors,
+		paneDur:   paneDur,
+		k:         k,
 	}
 	cfg.Core.Metrics.Gauge("engine/shards").Set(int64(store.Shards()))
 	return d, nil
@@ -354,39 +378,56 @@ func (d *WindowedDetector) emitMerged(window flow.Window, index int) error {
 		reg.Counter("engine/windows/empty").Add(1)
 		return nil
 	}
-	return d.detect(flow.NewFeatureSet(merged.Features(), window), window, index)
+	// Re-bound to the nominal window, keeping the contact sets the merge
+	// already assembled (the community detector reads them).
+	src := flow.NewFeatureSet(merged.Features(), window).WithContacts(merged.Contacts())
+	return d.detect(src, window, index)
 }
 
-// detect runs FindPlotters over one sealed window and emits the result.
+// detect runs every configured detector over one sealed window and
+// emits the result.
 func (d *WindowedDetector) detect(src *flow.FeatureSet, w flow.Window, index int) error {
 	reg := d.cfg.Core.Metrics
 	t := reg.StartStage("engine/detect")
-	analysis, err := core.NewAnalysisFromSource(src, d.cfg.Core)
-	if err != nil {
-		return fmt.Errorf("engine: window %d [%v, %v): %w", index, w.From, w.To, err)
+	detections := make([]*core.Detection, 0, len(d.detectors))
+	var paper *core.Result
+	for _, det := range d.detectors {
+		dt := t.Child(det.Name())
+		detn, err := det.Detect(src)
+		dt.Stop()
+		if err != nil {
+			t.Stop()
+			return fmt.Errorf("engine: window %d [%v, %v): %w", index, w.From, w.To, err)
+		}
+		detections = append(detections, detn)
+		if paper == nil && detn.Paper != nil {
+			paper = detn.Paper
+		}
+		reg.Gauge("engine/suspects/" + detn.Detector).Set(int64(len(detn.Suspects)))
 	}
-	res, err := analysis.FindPlotters()
 	t.Stop()
-	if err != nil {
-		return fmt.Errorf("engine: window %d [%v, %v): %w", index, w.From, w.To, err)
-	}
 	records := 0
 	for _, f := range src.Features() {
 		records += f.Flows
 	}
 	result := &Result{
-		Window:    w,
-		Index:     index,
-		Hosts:     src.Hosts(),
-		Records:   records,
-		Detection: res,
-		Partial:   d.flushing && w.To.After(d.frontier),
+		Window:     w,
+		Index:      index,
+		Hosts:      src.Hosts(),
+		Records:    records,
+		Detection:  paper,
+		Detections: detections,
+		Partial:    d.flushing && w.To.After(d.frontier),
 	}
 	d.emitted++
 	reg.Counter("engine/windows").Add(1)
 	reg.Gauge("engine/window_index").Set(int64(index))
 	reg.Gauge("engine/window_hosts").Set(int64(result.Hosts))
-	reg.Gauge("engine/window_suspects").Set(int64(len(res.Suspects)))
+	suspects := len(detections[0].Suspects)
+	if paper != nil {
+		suspects = len(paper.Suspects)
+	}
+	reg.Gauge("engine/window_suspects").Set(int64(suspects))
 	if d.emit == nil {
 		return nil
 	}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"plotters/internal/core"
+	"plotters/internal/flow"
+)
+
+func det(name string, hosts ...flow.IP) *core.Detection {
+	return &core.Detection{Detector: name, Suspects: core.NewHostSet(hosts...)}
+}
+
+func TestEnsembleCombiners(t *testing.T) {
+	// Hand-built verdicts: paper flags {1,2,3}, community flags {2,3,4},
+	// a third flags {3,4,5}.
+	a := det("a", 1, 2, 3)
+	b := det("b", 2, 3, 4)
+	c := det("c", 3, 4, 5)
+	cases := []struct {
+		name string
+		got  core.HostSet
+		want []flow.IP
+	}{
+		{"union of three", Union([]*core.Detection{a, b, c}), []flow.IP{1, 2, 3, 4, 5}},
+		{"intersection of three", Intersection([]*core.Detection{a, b, c}), []flow.IP{3}},
+		{"2-of-3 vote", Vote([]*core.Detection{a, b, c}, 2), []flow.IP{2, 3, 4}},
+		{"3-of-3 vote equals intersection", Vote([]*core.Detection{a, b, c}, 3), []flow.IP{3}},
+		{"vote threshold above n is empty", Vote([]*core.Detection{a, b, c}, 4), nil},
+		{"vote clamps k below 1 to union", Vote([]*core.Detection{a, b}, 0), []flow.IP{1, 2, 3, 4}},
+		{"disagreeing detectors intersect empty", Intersection([]*core.Detection{det("a", 1, 2), det("b", 3, 4)}), nil},
+		{"single detector: union = intersection", Intersection([]*core.Detection{a}), []flow.IP{1, 2, 3}},
+		{"empty detection list: union empty", Union(nil), nil},
+		{"empty detection list: intersection empty", Intersection(nil), nil},
+		{"nil entries are skipped", Union([]*core.Detection{nil, a, nil}), []flow.IP{1, 2, 3}},
+		{"detector with empty verdict empties intersection", Intersection([]*core.Detection{a, det("empty")}), nil},
+	}
+	for _, tc := range cases {
+		want := core.NewHostSet(tc.want...)
+		if !reflect.DeepEqual(tc.got, want) {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.got.Sorted(), want.Sorted())
+		}
+	}
+}
+
+// Precision-recall against hand-computed fixtures: population 1..10,
+// true Plotters {1,2,3,4}.
+func TestEnsembleScoresHandComputed(t *testing.T) {
+	input := core.NewHostSet(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	truth := core.NewHostSet(1, 2, 3, 4)
+	// Detector a flags {1,2,5}: 2 TP, 1 FP. Detector b flags {2,3,4,6,7}:
+	// 3 TP, 2 FP.
+	a := det("a", 1, 2, 5)
+	b := det("b", 2, 3, 4, 6, 7)
+	ds := []*core.Detection{a, b}
+
+	check := func(name string, r Rates, tp, fp int, precision, recall float64) {
+		t.Helper()
+		if r.TP != tp || r.FP != fp {
+			t.Errorf("%s: TP/FP = %d/%d, want %d/%d", name, r.TP, r.FP, tp, fp)
+		}
+		if r.Plotters != 4 || r.Others != 6 {
+			t.Errorf("%s: denominators = %d/%d, want 4/6", name, r.Plotters, r.Others)
+		}
+		if got := r.Precision(); got != precision {
+			t.Errorf("%s: precision = %v, want %v", name, got, precision)
+		}
+		if got := r.Recall(); got != recall {
+			t.Errorf("%s: recall = %v, want %v", name, got, recall)
+		}
+	}
+
+	check("a", Score(a.Suspects, input, truth), 2, 1, 2.0/3, 0.5)
+	check("b", Score(b.Suspects, input, truth), 3, 2, 0.6, 0.75)
+	// Union {1,2,3,4,5,6,7}: 4 TP, 3 FP. Intersection {2}: 1 TP, 0 FP.
+	check("union", Score(Union(ds), input, truth), 4, 3, 4.0/7, 1)
+	check("intersection", Score(Intersection(ds), input, truth), 1, 0, 1, 0.25)
+	// 2-of-2 vote is the intersection.
+	if !reflect.DeepEqual(Vote(ds, 2), Intersection(ds)) {
+		t.Error("2-of-2 vote differs from intersection")
+	}
+
+	// Edge: no detectors — every combiner scores zero flagged, zero
+	// precision, zero recall over the same denominators.
+	check("no detectors", Score(Union(nil), input, truth), 0, 0, 0, 0)
+}

@@ -44,6 +44,13 @@ type DayEval struct {
 	// detection caches the default-configuration pipeline outcome; the
 	// suite's windowed engine pre-populates it at window seal.
 	detection *core.Result
+	// detections caches every configured detector's verdict (the
+	// multi-detector framework); the suite populates it from the
+	// engine's per-window detections or the batch fallback.
+	detections []*core.Detection
+	// source keeps the day's feature set (contact sets included) so
+	// detectors beyond the paper pipeline can run over the batch path.
+	source *flow.FeatureSet
 }
 
 // Detect returns the day's full pipeline outcome at the suite
@@ -62,6 +69,22 @@ func (d *DayEval) Detect() (*core.Result, error) {
 	return res, nil
 }
 
+// Detections returns every detector's verdict for the day. Days built
+// by a multi-detector suite arrive with the verdicts attached; a plain
+// day falls back to the paper pipeline alone, wrapped as a
+// single-element detection list.
+func (d *DayEval) Detections() ([]*core.Detection, error) {
+	if d.detections != nil {
+		return d.detections, nil
+	}
+	res, err := d.Detect()
+	if err != nil {
+		return nil, err
+	}
+	d.detections = []*core.Detection{{Detector: core.PaperName, Suspects: res.Suspects, Paper: res}}
+	return d.detections, nil
+}
+
 // Plotters returns all bot-carrying hosts.
 func (d *DayEval) Plotters() core.HostSet { return d.Storm.Union(d.Nugache) }
 
@@ -74,11 +97,19 @@ func Overlay(day *scenario.Day, storm, nugache overlay.Trace, seed int64, cfg co
 	if err != nil {
 		return nil, err
 	}
-	analysis, err := core.NewAnalysis(d.Records, synth.IsInternal, cfg)
+	t := cfg.Metrics.StartStage("pipeline/extract")
+	src := flow.ExtractFeatureSet(d.Records, flow.FeatureOptions{
+		Hosts:        synth.IsInternal,
+		NewPeerGrace: cfg.NewPeerGrace,
+	}, flow.Window{})
+	t.Stop()
+	cfg.Metrics.Counter("pipeline/records").Add(int64(len(d.Records)))
+	analysis, err := core.NewAnalysisFromSource(src, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: analyzing day: %w", err)
 	}
 	d.Analysis = analysis
+	d.source = src
 	return d, nil
 }
 
@@ -152,6 +183,18 @@ func (r Rates) FPR() float64 {
 	}
 	return float64(r.FP) / float64(r.Others)
 }
+
+// Precision returns TP / (TP + FP) — the fraction of flagged hosts that
+// really are Plotters (0 when nothing was flagged).
+func (r Rates) Precision() float64 {
+	if r.TP+r.FP == 0 {
+		return 0
+	}
+	return float64(r.TP) / float64(r.TP+r.FP)
+}
+
+// Recall returns TP / Plotters, the precision-recall name for TPR.
+func (r Rates) Recall() float64 { return r.TPR() }
 
 // Score computes detection rates for kept relative to the input set,
 // counting members of truth as Plotters.

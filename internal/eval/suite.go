@@ -21,10 +21,11 @@ import (
 // default-configuration detection — features are accumulated once per
 // day, never re-extracted per figure.
 type Suite struct {
-	ds   *scenario.Dataset
-	cfg  core.Config
-	seed int64
-	days []*DayEval
+	ds        *scenario.Dataset
+	cfg       core.Config
+	seed      int64
+	days      []*DayEval
+	detectors []core.Detector // nil = paper pipeline alone
 
 	eng     *engine.WindowedDetector
 	cursor  int            // next day index to stream through the engine
@@ -33,19 +34,41 @@ type Suite struct {
 
 // NewSuite wraps a dataset. seed controls the overlay host assignments.
 func NewSuite(ds *scenario.Dataset, cfg core.Config, seed int64) (*Suite, error) {
+	return NewSuiteDetectors(ds, cfg, seed, nil)
+}
+
+// NewSuiteDetectors wraps a dataset with an explicit detector list run
+// over every day (the multi-detector framework). The list must include
+// the paper pipeline (a *core.PaperDetector) — the figures score stage
+// compositions only it produces. nil means the paper pipeline alone at
+// the suite configuration, the original single-detector suite.
+func NewSuiteDetectors(ds *scenario.Dataset, cfg core.Config, seed int64, detectors []core.Detector) (*Suite, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(ds.Days) == 0 {
 		return nil, fmt.Errorf("eval: dataset has no days")
 	}
-	s := &Suite{ds: ds, cfg: cfg, seed: seed, days: make([]*DayEval, len(ds.Days))}
+	if detectors != nil {
+		hasPaper := false
+		for _, d := range detectors {
+			if _, ok := d.(*core.PaperDetector); ok {
+				hasPaper = true
+				break
+			}
+		}
+		if !hasPaper {
+			return nil, fmt.Errorf("eval: detector list must include the paper pipeline (*core.PaperDetector)")
+		}
+	}
+	s := &Suite{ds: ds, cfg: cfg, seed: seed, detectors: detectors, days: make([]*DayEval, len(ds.Days))}
 	if alignedDays(ds.Days) {
 		eng, err := engine.New(engine.Config{
-			Window:   ds.Days[0].Window.Duration(),
-			Origin:   ds.Days[0].Window.From,
-			Internal: synth.IsInternal,
-			Core:     cfg,
+			Window:    ds.Days[0].Window.Duration(),
+			Origin:    ds.Days[0].Window.From,
+			Internal:  synth.IsInternal,
+			Core:      cfg,
+			Detectors: detectors,
 		}, func(r *engine.Result) error { s.emitted = r; return nil })
 		if err != nil {
 			return nil, fmt.Errorf("eval: building windowed engine: %w", err)
@@ -99,6 +122,21 @@ func (s *Suite) Day(i int) (*DayEval, error) {
 			if err != nil {
 				return nil, err
 			}
+			if len(s.detectors) > 0 {
+				// Batch fallback with explicit detectors: run each over the
+				// day's retained feature set (contact sets included).
+				de.detections = make([]*core.Detection, 0, len(s.detectors))
+				for _, det := range s.detectors {
+					detn, err := det.Detect(de.source)
+					if err != nil {
+						return nil, fmt.Errorf("eval: day %d detector %s: %w", i, det.Name(), err)
+					}
+					de.detections = append(de.detections, detn)
+					if de.detection == nil && detn.Paper != nil {
+						de.detection = detn.Paper
+					}
+				}
+			}
 			s.days[i] = de
 		}
 		return s.days[i], nil
@@ -133,6 +171,7 @@ func (s *Suite) streamDay(j int) error {
 	if res := s.emitted; res != nil {
 		de.Analysis = res.Detection.Analysis
 		de.detection = res.Detection
+		de.detections = res.Detections
 	} else {
 		// A day with no monitored traffic: an empty analysis keeps the
 		// batch path's behavior.

@@ -91,6 +91,13 @@ type featureBuilder struct {
 // Records need not be pre-sorted; they are processed in start-time order.
 // The input slice is not modified.
 func ExtractFeatures(records []Record, opts FeatureOptions) map[IP]*HostFeatures {
+	return featuresOfBuilders(extractBuilders(records, opts))
+}
+
+// extractBuilders runs the batch extraction but keeps the per-host
+// builders alive, so callers can also derive the per-destination tables
+// (contact sets) instead of just the folded features.
+func extractBuilders(records []Record, opts FeatureOptions) map[IP]*featureBuilder {
 	grace := opts.NewPeerGrace
 	if grace <= 0 {
 		grace = DefaultNewPeerGrace
@@ -116,10 +123,31 @@ func ExtractFeatures(records []Record, opts FeatureOptions) map[IP]*HostFeatures
 		}
 		b.observe(r, grace)
 	}
+	return builders
+}
 
+// featuresOfBuilders strips a builder map down to the features.
+func featuresOfBuilders(builders map[IP]*featureBuilder) map[IP]*HostFeatures {
 	out := make(map[IP]*HostFeatures, len(builders))
 	for ip, b := range builders {
 		out[ip] = b.feats
+	}
+	return out
+}
+
+// contactsOfBuilders derives each host's contacted-destination set (the
+// keys of its per-destination first-contact table) in ascending address
+// order — the flow-graph view of the accumulated state that the
+// community detector consumes.
+func contactsOfBuilders(builders map[IP]*featureBuilder) map[IP][]IP {
+	out := make(map[IP][]IP, len(builders))
+	for ip, b := range builders {
+		dsts := make([]IP, 0, len(b.firstSeen))
+		for dst := range b.firstSeen {
+			dsts = append(dsts, dst)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		out[ip] = dsts
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"sort"
 	"time"
 )
 
@@ -36,9 +37,17 @@ func (p *Pane) Features() map[IP]*HostFeatures {
 	return out
 }
 
-// FeatureSet wraps the pane's features as a FeatureSource.
+// Contacts returns the pane's per-host contacted-destination sets in
+// ascending address order — the keys of the per-destination tables the
+// pane keeps alive for merging anyway, exposed for flow-graph detectors.
+func (p *Pane) Contacts() map[IP][]IP {
+	return contactsOfBuilders(p.builders)
+}
+
+// FeatureSet wraps the pane's features (contact sets included) as a
+// FeatureSource.
 func (p *Pane) FeatureSet() *FeatureSet {
-	return NewFeatureSet(p.Features(), p.window)
+	return NewFeatureSet(p.Features(), p.window).WithContacts(p.Contacts())
 }
 
 // MergePanes recomputes the features a batch extraction over the panes'
@@ -82,7 +91,8 @@ func MergePanes(grace time.Duration, panes ...*Pane) *FeatureSet {
 	}
 	if len(nonEmpty) == 1 {
 		// Single populated pane: its live features are already exact.
-		return NewFeatureSet(nonEmpty[0].Features(), window)
+		return NewFeatureSet(nonEmpty[0].Features(), window).
+			WithContacts(nonEmpty[0].Contacts())
 	}
 
 	type hostMerge struct {
@@ -138,18 +148,23 @@ func MergePanes(grace time.Duration, panes ...*Pane) *FeatureSet {
 	}
 
 	out := make(map[IP]*HostFeatures, len(merged))
+	contacts := make(map[IP][]IP, len(merged))
 	for ip, m := range merged {
 		f := m.feats
 		f.Peers = len(m.firstContact)
 		f.NewPeers = 0
-		for _, first := range m.firstContact {
+		dsts := make([]IP, 0, len(m.firstContact))
+		for dst, first := range m.firstContact {
+			dsts = append(dsts, dst)
 			if first.Sub(f.FirstSeen) > grace {
 				f.NewPeers++
 			}
 		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 		out[ip] = f
+		contacts[ip] = dsts
 	}
-	return NewFeatureSet(out, window)
+	return NewFeatureSet(out, window).WithContacts(contacts)
 }
 
 // MergeFeatureMaps combines disjoint per-host feature maps (e.g. the

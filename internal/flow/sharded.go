@@ -183,6 +183,23 @@ func (se *ShardedExtractor) Snapshot() map[IP]*HostFeatures {
 // Features implements FeatureSource over the merged current state.
 func (se *ShardedExtractor) Features() map[IP]*HostFeatures { return se.Snapshot() }
 
+// Contacts implements ContactSource over the merged current state,
+// locking one shard at a time (hosts never straddle shards, so the
+// union is disjoint).
+func (se *ShardedExtractor) Contacts() map[IP][]IP {
+	out := make(map[IP][]IP)
+	for i := range se.shards {
+		s := &se.shards[i]
+		s.mu.Lock()
+		shard := s.ex.Contacts()
+		s.mu.Unlock()
+		for ip, dsts := range shard {
+			out[ip] = dsts
+		}
+	}
+	return out
+}
+
 // Window implements FeatureSource: the union of the shards' processed
 // spans.
 func (se *ShardedExtractor) Window() Window {

@@ -17,12 +17,28 @@ type FeatureSource interface {
 	Window() Window
 }
 
+// ContactSource is the flow-graph side of the feature seam: a source
+// that can also report, per monitored host, the set of destination
+// addresses the host contacted inside the window. Detectors that reason
+// about structure between hosts (destination-overlap graphs, mutual-
+// contact communities) consume this interface; the per-host percentile
+// pipeline never needs it. Every FeatureSource this package produces —
+// batch extraction, panes, pane merges, and the live extractors —
+// implements it.
+type ContactSource interface {
+	// Contacts returns each host's contacted destinations in ascending
+	// address order. Implementations may return a live view; callers
+	// must not mutate it. Nil means the source did not track contacts.
+	Contacts() map[IP][]IP
+}
+
 // FeatureSet is the plain concrete FeatureSource: a feature map plus the
 // window it covers. It is what batch extraction and pane merging
 // produce.
 type FeatureSet struct {
-	feats  map[IP]*HostFeatures
-	window Window
+	feats    map[IP]*HostFeatures
+	contacts map[IP][]IP
+	window   Window
 }
 
 // NewFeatureSet wraps an already-extracted feature map with its window
@@ -34,8 +50,19 @@ func NewFeatureSet(feats map[IP]*HostFeatures, window Window) *FeatureSet {
 	return &FeatureSet{feats: feats, window: window}
 }
 
+// WithContacts attaches per-host contacted-destination sets (ascending
+// address order per host), making the set a useful ContactSource.
+// Returns fs for chaining.
+func (fs *FeatureSet) WithContacts(contacts map[IP][]IP) *FeatureSet {
+	fs.contacts = contacts
+	return fs
+}
+
 // Features returns the per-host feature map.
 func (fs *FeatureSet) Features() map[IP]*HostFeatures { return fs.feats }
+
+// Contacts implements ContactSource (nil when never attached).
+func (fs *FeatureSet) Contacts() map[IP][]IP { return fs.contacts }
 
 // Window returns the observation bounds.
 func (fs *FeatureSet) Window() Window { return fs.window }
@@ -47,7 +74,8 @@ func (fs *FeatureSet) Hosts() int { return len(fs.feats) }
 // the records once (ExtractFeatures) and derives the window from the
 // records' start-time span when the caller passes a zero window (the
 // derived To is one nanosecond past the last start so the half-open
-// window contains every record).
+// window contains every record). The result carries contact sets, so it
+// is a full ContactSource.
 func ExtractFeatureSet(records []Record, opts FeatureOptions, window Window) *FeatureSet {
 	if window == (Window{}) && len(records) > 0 {
 		window.From = records[0].Start
@@ -62,5 +90,7 @@ func ExtractFeatureSet(records []Record, opts FeatureOptions, window Window) *Fe
 		}
 		window.To = last.Add(1)
 	}
-	return NewFeatureSet(ExtractFeatures(records, opts), window)
+	builders := extractBuilders(records, opts)
+	return NewFeatureSet(featuresOfBuilders(builders), window).
+		WithContacts(contactsOfBuilders(builders))
 }

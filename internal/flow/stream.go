@@ -217,6 +217,14 @@ func (se *StreamExtractor) Snapshot() map[IP]*HostFeatures {
 // view, like Snapshot).
 func (se *StreamExtractor) Features() map[IP]*HostFeatures { return se.Snapshot() }
 
+// Contacts implements ContactSource over the current state: each host's
+// contacted destinations so far, in ascending address order. Like
+// Snapshot, reads must not interleave with Add calls from other
+// goroutines.
+func (se *StreamExtractor) Contacts() map[IP][]IP {
+	return contactsOfBuilders(se.builders)
+}
+
 // Window implements FeatureSource: the span of processed start times,
 // half-open past the frontier. Zero until a record has been processed.
 func (se *StreamExtractor) Window() Window {

@@ -40,6 +40,7 @@ import (
 	"plotters/internal/baseline"
 	"plotters/internal/checkpoint"
 	"plotters/internal/collector"
+	"plotters/internal/community"
 	"plotters/internal/core"
 	"plotters/internal/engine"
 	"plotters/internal/eval"
@@ -130,6 +131,59 @@ func NewAnalysis(records []Record, internal func(IP) bool, cfg Config) (*Analysi
 func FindPlotters(records []Record, internal func(IP) bool, cfg Config) (*Result, error) {
 	return core.FindPlotters(records, internal, cfg)
 }
+
+// Multi-detector framework: the paper pipeline and the mutual-contact
+// community detector behind one seam, run singly, per window by the
+// engine (EngineConfig.Detectors), or as a scored ensemble by the
+// evaluation suite (NewSuiteDetectors + Suite.Ensemble).
+type (
+	// Detector is the per-window detection seam.
+	Detector = core.Detector
+	// Detection is one detector's verdict over a window.
+	Detection = core.Detection
+	// PaperDetector adapts FindPlotters to the Detector seam.
+	PaperDetector = core.PaperDetector
+	// CommunityConfig tunes the mutual-contact community detector.
+	CommunityConfig = community.Config
+	// CommunityGraphConfig tunes mutual-contact graph construction.
+	CommunityGraphConfig = community.GraphConfig
+	// CommunityDetector flags dense mutual-contact communities.
+	CommunityDetector = community.Detector
+	// CommunityReport is the community detector's per-window outcome.
+	CommunityReport = community.Report
+	// Community is one detected host group.
+	Community = community.Community
+)
+
+// Stable detector identifiers.
+const (
+	// PaperDetectorName identifies the FindPlotters pipeline.
+	PaperDetectorName = core.PaperName
+	// CommunityDetectorName identifies the community detector.
+	CommunityDetectorName = community.Name
+)
+
+// NewPaperDetector wraps the paper pipeline at the given operating
+// point.
+func NewPaperDetector(cfg Config) (*PaperDetector, error) { return core.NewPaperDetector(cfg) }
+
+// DefaultCommunityConfig returns the community detector's default
+// operating point.
+func DefaultCommunityConfig() CommunityConfig { return community.DefaultConfig() }
+
+// NewCommunityDetector creates a mutual-contact community detector.
+func NewCommunityDetector(cfg CommunityConfig) (*CommunityDetector, error) {
+	return community.New(cfg)
+}
+
+// UnionSuspects returns the hosts flagged by at least one detection.
+func UnionSuspects(detections []*Detection) HostSet { return eval.Union(detections) }
+
+// IntersectSuspects returns the hosts flagged by every detection.
+func IntersectSuspects(detections []*Detection) HostSet { return eval.Intersection(detections) }
+
+// VoteSuspects returns the hosts flagged by at least k detections.
+func VoteSuspects(detections []*Detection, k int) HostSet { return eval.Vote(detections, k) }
 
 // Ground-truth labeling (§III payload rules).
 type (
@@ -226,11 +280,22 @@ type (
 	DayEval = eval.DayEval
 	// Rates is a scored detection outcome.
 	Rates = eval.Rates
+	// EnsembleReport aggregates per-detector and combined scores.
+	EnsembleReport = eval.EnsembleReport
+	// EnsembleDay is one day's ensemble score breakdown.
+	EnsembleDay = eval.EnsembleDay
 )
 
 // NewSuite wraps a dataset for evaluation.
 func NewSuite(ds *Dataset, cfg Config, seed int64) (*Suite, error) {
 	return eval.NewSuite(ds, cfg, seed)
+}
+
+// NewSuiteDetectors wraps a dataset for evaluation with an explicit
+// detector list (must include a PaperDetector) run over every day; score
+// the ensemble with Suite.Ensemble.
+func NewSuiteDetectors(ds *Dataset, cfg Config, seed int64, detectors []Detector) (*Suite, error) {
+	return eval.NewSuiteDetectors(ds, cfg, seed, detectors)
 }
 
 // OverlayDay overlays the dataset's honeynet traces onto one day.
