@@ -48,6 +48,8 @@ func run() error {
 		metricsTo = flag.String("metrics", "", "write cumulative pipeline stage timings to this file as JSON")
 		detectors = flag.String("detectors", "findplotters", "comma-separated detectors run per day: findplotters, community. More than one appends the ensemble precision/recall table")
 		voteK     = flag.Int("vote-k", 0, "k for the ensemble k-of-n vote combiner (0 = majority)")
+		commIDF   = flag.Bool("community-idf", false, "weight community-graph edges by destination rarity (IDF) instead of raw shared-contact counts")
+		fanin     = flag.Bool("fanin-sweep", false, "sweep the community graph's MinSharedContacts × MaxFanIn grid and print the ROC table (use -fig none to run the sweep alone)")
 	)
 	flag.Parse()
 
@@ -79,7 +81,7 @@ func run() error {
 		reg = plotters.NewMetrics()
 		pipeCfg.Metrics = reg
 	}
-	dets, err := buildDetectors(*detectors, pipeCfg)
+	dets, err := buildDetectors(*detectors, pipeCfg, *commIDF)
 	if err != nil {
 		return err
 	}
@@ -128,6 +130,12 @@ func run() error {
 			return fmt.Errorf("ensemble: %w", err)
 		}
 	}
+	if *fanin {
+		fmt.Fprintln(os.Stderr, "sweeping community-graph fan-in grid...")
+		if err := printFanInSweep(suite, *commIDF); err != nil {
+			return fmt.Errorf("fan-in sweep: %w", err)
+		}
+	}
 	if reg != nil {
 		snap := reg.TakeSnapshot()
 		if pr, ok := plotters.PruneSummary(snap); ok {
@@ -155,7 +163,7 @@ func run() error {
 // buildDetectors parses the -detectors list. The default spec (the paper
 // pipeline alone) returns nil, keeping the suite on its original
 // single-detector path.
-func buildDetectors(spec string, cfg plotters.Config) ([]plotters.Detector, error) {
+func buildDetectors(spec string, cfg plotters.Config, communityIDF bool) ([]plotters.Detector, error) {
 	names := strings.Split(spec, ",")
 	var out []plotters.Detector
 	seen := map[string]bool{}
@@ -178,6 +186,7 @@ func buildDetectors(spec string, cfg plotters.Config) ([]plotters.Detector, erro
 		case plotters.CommunityDetectorName:
 			ccfg := plotters.DefaultCommunityConfig()
 			ccfg.Metrics = cfg.Metrics
+			ccfg.Graph.IDFWeights = communityIDF
 			det, err := plotters.NewCommunityDetector(ccfg)
 			if err != nil {
 				return nil, err
@@ -230,6 +239,34 @@ func printEnsemble(s *plotters.Suite, voteK int) error {
 	return nil
 }
 
+// printFanInSweep sweeps the community graph's two structural knobs and
+// prints one ROC row per operating point, rates accumulated across all
+// suite days. MaxFanIn 0 is the uncapped end of the axis.
+func printFanInSweep(s *plotters.Suite, idf bool) error {
+	base := plotters.DefaultCommunityConfig()
+	base.Graph.IDFWeights = idf
+	points, err := s.FanInSweep(base,
+		[]int{2, 3, 4, 6},
+		[]int{16, 32, 64, 128, 0})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("## Community-graph fan-in sweep: ROC over MinSharedContacts × MaxFanIn (idf=%v)\n", idf)
+	fmt.Println("# minShared\tmaxFanIn\tedges\tTP\tFP\tTPR\tFPR\tprecision\trecall")
+	for _, p := range points {
+		fanIn := fmt.Sprintf("%d", p.MaxFanIn)
+		if p.MaxFanIn == 0 {
+			fanIn = "off"
+		}
+		fmt.Printf("%d\t%s\t%d\t%d\t%d\t%.4f\t%.6f\t%.4f\t%.4f\n",
+			p.MinSharedContacts, fanIn, p.Edges,
+			p.Rates.TP, p.Rates.FP, p.Rates.TPR(), p.Rates.FPR(),
+			p.Rates.Precision(), p.Rates.Recall())
+	}
+	fmt.Println()
+	return nil
+}
+
 // compareBaselines prints the §II baseline-detector comparison.
 func compareBaselines(s *plotters.Suite) error {
 	outcomes, err := s.CompareBaselines()
@@ -247,6 +284,9 @@ func compareBaselines(s *plotters.Suite) error {
 
 func parseFigs(s string) (map[int]bool, error) {
 	out := make(map[int]bool)
+	if s == "none" {
+		return out, nil
+	}
 	if s == "all" {
 		for _, f := range []int{1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12} {
 			out[f] = true

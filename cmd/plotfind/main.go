@@ -8,6 +8,8 @@
 //	plotfind -hm-prune [-hm-cut D] ... TRACE
 //	plotfind -window 6h [-slide 1h] [-shards N] [-skew 5m] ... TRACE
 //	plotfind -listen :2055 -window 6h [-skew 5m] [-state-dir DIR [-checkpoint-every 5m]] ...
+//	plotfind -role coordinator -peers :7055 -dist-shards 2 -window 6h -origin TIME ...
+//	plotfind -role shard -shard 0 -dist-shards 2 -peers host:7055 -window 6h -origin TIME ... TRACE
 //
 // With -hm-prune, θ_hm's pairwise EMD matrix runs through the layered
 // pruning engine: pairs provably above the clustering cut skip their
@@ -33,6 +35,19 @@
 // (SIGINT/SIGTERM): the collector drains its queue, the final partial
 // window is flushed (marked [partial]), and the summary (plus the
 // -metrics report, if requested) is written on the way out.
+//
+// With -role, detection runs distributed across processes. Each -role
+// shard process streams a trace through the pipeline's shard-local
+// phase — per-host feature reduction and θ_hm histogram sketches for
+// the hosts hashing to its shard — and ships only compact versioned
+// shard summaries over TCP to the coordinator named by -peers. The
+// -role coordinator process binds -peers, merges the summaries of its
+// -dist-shards workers, and runs the global phase (percentile
+// thresholds, θ_hm clustering, community graph) per window, printing
+// the same per-window summaries as a single-process -window run —
+// bit-identical to it, by construction. Every node must be started
+// with the same -window, -origin, and detection knobs; a mismatch is
+// refused at connection time with the offending knob named.
 //
 // With -state-dir, the live run is crash-safe: every record is
 // write-ahead logged before it reaches the engine, and the full
@@ -96,9 +111,22 @@ func run() error {
 		stateDir  = flag.String("state-dir", "", "directory for crash-safe durable state (snapshot + write-ahead log); requires -listen. On start, any state found there is recovered")
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval for -state-dir")
 		walSync   = flag.Int("wal-sync-every", 256, "fsync the write-ahead log every N records (1 = every record: survives power loss, but gates ingest on fsync latency)")
+		role      = flag.String("role", "", "distributed detection role: shard (reduce a trace locally, ship summaries) or coordinator (merge shard summaries, run the global phase); requires -window, -peers, -dist-shards")
+		peers     = flag.String("peers", "", "coordinator TCP address: what a shard dials, or what the coordinator binds (required with -role)")
+		shardIdx  = flag.Int("shard", 0, "this worker's shard index in [0,dist-shards) for -role shard")
+		distN     = flag.Int("dist-shards", 0, "total shard-worker count in the distributed deployment (required with -role)")
+		distWait  = flag.Duration("dist-timeout", 0, "coordinator: force-seal a window as [partial] when shards lag this long behind it (0 = wait forever)")
+		origin    = flag.String("origin", "", "window alignment origin, RFC 3339 (required with -role, where every node must agree on it; optional with plain -window)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "shard: how long to wait at end of trace for the coordinator to acknowledge every frame")
 	)
 	flag.Parse()
-	if *listen != "" {
+	switch {
+	case *role == "coordinator":
+		if flag.NArg() != 0 {
+			flag.Usage()
+			return fmt.Errorf("-role coordinator takes no trace file argument (shards read the traces)")
+		}
+	case *listen != "":
 		if flag.NArg() != 0 {
 			flag.Usage()
 			return fmt.Errorf("-listen takes no trace file argument")
@@ -106,9 +134,12 @@ func run() error {
 		if *window <= 0 {
 			return fmt.Errorf("-listen requires -window (live detection is windowed)")
 		}
-	} else if *stateDir != "" {
+		if *role != "" {
+			return fmt.Errorf("-role and -listen are mutually exclusive (shards read trace files)")
+		}
+	case *stateDir != "":
 		return fmt.Errorf("-state-dir requires -listen (durable state protects live collection; file traces just re-run)")
-	} else if flag.NArg() != 1 {
+	case flag.NArg() != 1:
 		flag.Usage()
 		return fmt.Errorf("expected exactly one trace file argument")
 	}
@@ -143,6 +174,55 @@ func run() error {
 		return err
 	}
 
+	if *role != "" {
+		if *role != "shard" && *role != "coordinator" {
+			return fmt.Errorf("-role must be shard or coordinator, not %q", *role)
+		}
+		if *window <= 0 {
+			return fmt.Errorf("-role requires -window (distributed detection is windowed)")
+		}
+		if *peers == "" {
+			return fmt.Errorf("-role requires -peers (the coordinator's TCP address)")
+		}
+		if *distN < 1 {
+			return fmt.Errorf("-role requires -dist-shards >= 1")
+		}
+		if *origin == "" {
+			return fmt.Errorf("-role requires -origin (shard and coordinator window indices align only against a shared origin)")
+		}
+		orig, err := time.Parse(time.RFC3339, *origin)
+		if err != nil {
+			return fmt.Errorf("-origin: %w", err)
+		}
+		engCfg := plotters.EngineConfig{
+			Window:    *window,
+			Slide:     *slide,
+			Origin:    orig,
+			Shards:    *shards,
+			MaxSkew:   *skew,
+			Internal:  internal,
+			Core:      cfg,
+			Detectors: dets,
+		}
+		if *role == "coordinator" {
+			return runDistCoordinator(*peers, plotters.CoordinatorConfig{
+				Shards:        *distN,
+				Engine:        engCfg,
+				WindowTimeout: *distWait,
+			}, *verbose)
+		}
+		n, err := runDistShard(flag.Arg(0), *format, reg, engCfg, *shardIdx, *distN, *peers, *drainWait)
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			if err := writeReport(*metricsTo, flag.Arg(0), *format, n, time.Since(started), reg, nil); err != nil {
+				return err
+			}
+			fmt.Printf("run report written to %s\n", *metricsTo)
+		}
+		return nil
+	}
 	if *window > 0 {
 		engCfg := plotters.EngineConfig{
 			Window:    *window,
@@ -152,6 +232,12 @@ func run() error {
 			Internal:  internal,
 			Core:      cfg,
 			Detectors: dets,
+		}
+		if *origin != "" {
+			engCfg.Origin, err = time.Parse(time.RFC3339, *origin)
+			if err != nil {
+				return fmt.Errorf("-origin: %w", err)
+			}
 		}
 		var n int
 		var ckpt *checkpointReport

@@ -32,6 +32,7 @@ import (
 	"plotters/internal/engine"
 	"plotters/internal/flow"
 	"plotters/internal/flowio"
+	"plotters/internal/wire"
 )
 
 // snapshotMagic identifies a snapshot file; the version that follows it
@@ -163,22 +164,15 @@ func Encode(s *Snapshot) ([]byte, error) {
 	if s.Engine == nil || s.Engine.Store == nil {
 		return nil, fmt.Errorf("checkpoint: refusing to encode a snapshot without engine store state")
 	}
-	var e encoder
-	e.b = append(e.b, snapshotMagic[:]...)
-	e.u16(snapshotVersion)
-	appendSection(&e, secMeta, encodeMeta(s.Meta))
-	appendSection(&e, secEngine, encodeEngineState(s.Engine))
+	var e wire.Encoder
+	e.Raw(snapshotMagic[:])
+	e.U16(snapshotVersion)
+	wire.AppendFrame(&e, secMeta, encodeMeta(s.Meta))
+	wire.AppendFrame(&e, secEngine, encodeEngineState(s.Engine))
 	if len(s.Exporters) > 0 {
-		appendSection(&e, secExporters, encodeExporters(s.Exporters))
+		wire.AppendFrame(&e, secExporters, encodeExporters(s.Exporters))
 	}
-	return e.b, nil
-}
-
-func appendSection(e *encoder, id uint16, payload []byte) {
-	e.u16(id)
-	e.u32(uint32(len(payload)))
-	e.b = append(e.b, payload...)
-	e.u32(crc32.ChecksumIEEE(payload))
+	return e.Bytes(), nil
 }
 
 // Decode parses a snapshot produced by Encode. Any deviation — wrong
@@ -186,13 +180,13 @@ func appendSection(e *encoder, id uint16, payload []byte) {
 // truncation, an implausible count — is an error; Decode never returns
 // a partially populated snapshot.
 func Decode(data []byte) (*Snapshot, error) {
-	d := &decoder{b: data}
-	magic := d.take(4)
-	if d.err != nil || string(magic) != string(snapshotMagic[:]) {
+	d := wire.NewDecoder(data)
+	magic := d.Take(4)
+	if d.Err() != nil || string(magic) != string(snapshotMagic[:]) {
 		return nil, ErrNotSnapshot
 	}
-	version := d.u16()
-	if d.err != nil {
+	version := d.U16()
+	if d.Err() != nil {
 		return nil, fmt.Errorf("checkpoint: snapshot truncated before version field")
 	}
 	if version != snapshotVersion {
@@ -201,13 +195,13 @@ func Decode(data []byte) (*Snapshot, error) {
 	}
 	snap := &Snapshot{}
 	seen := make(map[uint16]bool)
-	for d.remaining() > 0 {
-		id := d.u16()
-		n := int(d.u32())
-		payload := d.take(n)
-		crc := d.u32()
-		if d.err != nil {
-			return nil, fmt.Errorf("checkpoint: snapshot truncated inside section frame: %w", d.err)
+	for d.Remaining() > 0 {
+		id := d.U16()
+		n := int(d.U32())
+		payload := d.Take(n)
+		crc := d.U32()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("checkpoint: snapshot truncated inside section frame: %w", d.Err())
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
 			return nil, fmt.Errorf("checkpoint: section %d failed its CRC check — the snapshot is corrupt", id)
@@ -216,7 +210,7 @@ func Decode(data []byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("checkpoint: duplicate section %d", id)
 		}
 		seen[id] = true
-		sd := &decoder{b: payload}
+		sd := wire.NewDecoder(payload)
 		switch id {
 		case secMeta:
 			snap.Meta = decodeMeta(sd)
@@ -228,11 +222,11 @@ func Decode(data []byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("checkpoint: unknown section id %d — the snapshot was written by a newer build and this one cannot load it without losing state",
 				id)
 		}
-		if sd.err != nil {
-			return nil, fmt.Errorf("checkpoint: section %d: %w", id, sd.err)
+		if sd.Err() != nil {
+			return nil, fmt.Errorf("checkpoint: section %d: %w", id, sd.Err())
 		}
-		if sd.remaining() != 0 {
-			return nil, fmt.Errorf("checkpoint: section %d carries %d undecoded trailing bytes", id, sd.remaining())
+		if sd.Remaining() != 0 {
+			return nil, fmt.Errorf("checkpoint: section %d carries %d undecoded trailing bytes", id, sd.Remaining())
 		}
 	}
 	if !seen[secMeta] || !seen[secEngine] {
@@ -294,238 +288,238 @@ func Read(path string) (*Snapshot, error) {
 // --- section codecs ---
 
 func encodeMeta(m Meta) []byte {
-	var e encoder
-	e.time(m.Created)
-	e.u64(m.WALSeq)
-	e.dur(m.Window)
-	e.dur(m.Slide)
-	e.dur(m.MaxSkew)
-	e.dur(m.Grace)
-	e.u32(uint32(m.Shards))
-	e.bool(m.CarryFirstSeen)
-	e.bool(m.DropLate)
-	return e.b
+	var e wire.Encoder
+	e.Time(m.Created)
+	e.U64(m.WALSeq)
+	e.Dur(m.Window)
+	e.Dur(m.Slide)
+	e.Dur(m.MaxSkew)
+	e.Dur(m.Grace)
+	e.U32(uint32(m.Shards))
+	e.Bool(m.CarryFirstSeen)
+	e.Bool(m.DropLate)
+	return e.Bytes()
 }
 
-func decodeMeta(d *decoder) Meta {
+func decodeMeta(d *wire.Decoder) Meta {
 	return Meta{
-		Created:        d.time(),
-		WALSeq:         d.u64(),
-		Window:         d.dur(),
-		Slide:          d.dur(),
-		MaxSkew:        d.dur(),
-		Grace:          d.dur(),
-		Shards:         int(d.u32()),
-		CarryFirstSeen: d.bool(),
-		DropLate:       d.bool(),
+		Created:        d.Time(),
+		WALSeq:         d.U64(),
+		Window:         d.Dur(),
+		Slide:          d.Dur(),
+		MaxSkew:        d.Dur(),
+		Grace:          d.Dur(),
+		Shards:         int(d.U32()),
+		CarryFirstSeen: d.Bool(),
+		DropLate:       d.Bool(),
 	}
 }
 
 func encodeEngineState(st *engine.State) []byte {
-	var e encoder
-	e.bool(st.Started)
-	e.time(st.Origin)
-	e.time(st.Frontier)
-	e.i64(int64(st.PaneIdx))
-	e.i64(int64(st.Emitted))
-	e.i64(int64(st.Dropped))
-	e.u32(uint32(len(st.Store.Shards)))
+	var e wire.Encoder
+	e.Bool(st.Started)
+	e.Time(st.Origin)
+	e.Time(st.Frontier)
+	e.I64(int64(st.PaneIdx))
+	e.I64(int64(st.Emitted))
+	e.I64(int64(st.Dropped))
+	e.U32(uint32(len(st.Store.Shards)))
 	for i := range st.Store.Shards {
 		encodeStreamState(&e, &st.Store.Shards[i])
 	}
-	e.u32(uint32(len(st.Recent)))
+	e.U32(uint32(len(st.Recent)))
 	for _, ps := range st.Recent {
 		if ps == nil {
-			e.bool(false)
+			e.Bool(false)
 			continue
 		}
-		e.bool(true)
-		e.time(ps.Window.From)
-		e.time(ps.Window.To)
+		e.Bool(true)
+		e.Time(ps.Window.From)
+		e.Time(ps.Window.To)
 		encodeHostList(&e, ps.Hosts)
 	}
-	return e.b
+	return e.Bytes()
 }
 
-func decodeEngineState(d *decoder) *engine.State {
+func decodeEngineState(d *wire.Decoder) *engine.State {
 	st := &engine.State{
-		Started:  d.bool(),
-		Origin:   d.time(),
-		Frontier: d.time(),
-		PaneIdx:  int(d.i64()),
-		Emitted:  int(d.i64()),
-		Dropped:  int(d.i64()),
+		Started:  d.Bool(),
+		Origin:   d.Time(),
+		Frontier: d.Time(),
+		PaneIdx:  int(d.I64()),
+		Emitted:  int(d.I64()),
+		Dropped:  int(d.I64()),
 	}
-	shards := d.count(minStreamState)
+	shards := d.Count(minStreamState)
 	store := &flow.ShardedState{Shards: make([]flow.StreamState, shards)}
 	for i := range store.Shards {
 		decodeStreamState(d, &store.Shards[i])
-		if d.err != nil {
+		if d.Err() != nil {
 			return st
 		}
 	}
 	st.Store = store
-	recent := d.count(1)
-	for i := 0; i < recent && d.err == nil; i++ {
-		if !d.bool() {
+	recent := d.Count(1)
+	for i := 0; i < recent && d.Err() == nil; i++ {
+		if !d.Bool() {
 			st.Recent = append(st.Recent, nil)
 			continue
 		}
 		ps := &flow.PaneState{}
-		ps.Window.From = d.time()
-		ps.Window.To = d.time()
+		ps.Window.From = d.Time()
+		ps.Window.To = d.Time()
 		ps.Hosts = decodeHostList(d)
 		st.Recent = append(st.Recent, ps)
 	}
 	return st
 }
 
-func encodeStreamState(e *encoder, st *flow.StreamState) {
-	e.time(st.First)
-	e.time(st.Frontier)
-	e.time(st.Released)
-	e.i64(int64(st.Count))
-	e.u64(st.Seq)
+func encodeStreamState(e *wire.Encoder, st *flow.StreamState) {
+	e.Time(st.First)
+	e.Time(st.Frontier)
+	e.Time(st.Released)
+	e.I64(int64(st.Count))
+	e.U64(st.Seq)
 	encodeHostList(e, st.Hosts)
 	encodeHostTimes(e, st.Anchors)
-	e.u32(uint32(len(st.Pending)))
+	e.U32(uint32(len(st.Pending)))
 	for i := range st.Pending {
-		e.b = flowio.AppendRecord(e.b, &st.Pending[i].Rec)
-		e.u64(st.Pending[i].Seq)
+		e.Splice(func(b []byte) []byte { return flowio.AppendRecord(b, &st.Pending[i].Rec) })
+		e.U64(st.Pending[i].Seq)
 	}
 }
 
-func decodeStreamState(d *decoder, st *flow.StreamState) {
-	st.First = d.time()
-	st.Frontier = d.time()
-	st.Released = d.time()
-	st.Count = int(d.i64())
-	st.Seq = d.u64()
+func decodeStreamState(d *wire.Decoder, st *flow.StreamState) {
+	st.First = d.Time()
+	st.Frontier = d.Time()
+	st.Released = d.Time()
+	st.Count = int(d.I64())
+	st.Seq = d.U64()
 	st.Hosts = decodeHostList(d)
 	st.Anchors = decodeHostTimes(d)
-	pending := d.count(minPending)
-	if d.err != nil || pending == 0 {
+	pending := d.Count(minPending)
+	if d.Err() != nil || pending == 0 {
 		return
 	}
 	st.Pending = make([]flow.PendingState, pending)
 	for i := range st.Pending {
-		if d.err != nil {
+		if d.Err() != nil {
 			return
 		}
-		rec, used, err := flowio.DecodeRecord(d.b)
+		rec, used, err := flowio.DecodeRecord(d.Rest())
 		if err != nil {
-			d.fail("checkpoint: pending record %d: %v", i, err)
+			d.Fail("checkpoint: pending record %d: %v", i, err)
 			return
 		}
-		d.b = d.b[used:]
-		st.Pending[i] = flow.PendingState{Rec: rec, Seq: d.u64()}
+		d.Take(used)
+		st.Pending[i] = flow.PendingState{Rec: rec, Seq: d.U64()}
 	}
 }
 
-func encodeHostList(e *encoder, hosts []flow.HostState) {
-	e.u32(uint32(len(hosts)))
+func encodeHostList(e *wire.Encoder, hosts []flow.HostState) {
+	e.U32(uint32(len(hosts)))
 	for i := range hosts {
 		h := &hosts[i]
 		f := &h.Feats
-		e.u32(uint32(f.Host))
-		e.i64(int64(f.Flows))
-		e.i64(int64(f.SuccessfulFlows))
-		e.i64(int64(f.FailedFlows))
-		e.u64(f.BytesUploaded)
-		e.i64(int64(f.Peers))
-		e.i64(int64(f.NewPeers))
-		e.time(f.FirstSeen)
-		e.time(f.LastSeen)
-		e.u32(uint32(len(f.Interstitials)))
+		e.U32(uint32(f.Host))
+		e.I64(int64(f.Flows))
+		e.I64(int64(f.SuccessfulFlows))
+		e.I64(int64(f.FailedFlows))
+		e.U64(f.BytesUploaded)
+		e.I64(int64(f.Peers))
+		e.I64(int64(f.NewPeers))
+		e.Time(f.FirstSeen)
+		e.Time(f.LastSeen)
+		e.U32(uint32(len(f.Interstitials)))
 		for _, v := range f.Interstitials {
-			e.f64(v)
+			e.F64(v)
 		}
 		encodeHostTimes(e, h.FirstContact)
 		encodeHostTimes(e, h.LastStart)
 	}
 }
 
-func decodeHostList(d *decoder) []flow.HostState {
-	n := d.count(minHostState)
-	if d.err != nil || n == 0 {
+func decodeHostList(d *wire.Decoder) []flow.HostState {
+	n := d.Count(minHostState)
+	if d.Err() != nil || n == 0 {
 		return nil
 	}
 	out := make([]flow.HostState, n)
 	for i := range out {
 		h := &out[i]
 		f := &h.Feats
-		f.Host = flow.IP(d.u32())
-		f.Flows = int(d.i64())
-		f.SuccessfulFlows = int(d.i64())
-		f.FailedFlows = int(d.i64())
-		f.BytesUploaded = d.u64()
-		f.Peers = int(d.i64())
-		f.NewPeers = int(d.i64())
-		f.FirstSeen = d.time()
-		f.LastSeen = d.time()
-		if k := d.count(8); k > 0 {
+		f.Host = flow.IP(d.U32())
+		f.Flows = int(d.I64())
+		f.SuccessfulFlows = int(d.I64())
+		f.FailedFlows = int(d.I64())
+		f.BytesUploaded = d.U64()
+		f.Peers = int(d.I64())
+		f.NewPeers = int(d.I64())
+		f.FirstSeen = d.Time()
+		f.LastSeen = d.Time()
+		if k := d.Count(8); k > 0 {
 			f.Interstitials = make([]float64, k)
 			for j := range f.Interstitials {
-				f.Interstitials[j] = d.f64()
+				f.Interstitials[j] = d.F64()
 			}
 		}
 		h.FirstContact = decodeHostTimes(d)
 		h.LastStart = decodeHostTimes(d)
-		if d.err != nil {
+		if d.Err() != nil {
 			return out
 		}
 	}
 	return out
 }
 
-func encodeHostTimes(e *encoder, hts []flow.HostTime) {
-	e.u32(uint32(len(hts)))
+func encodeHostTimes(e *wire.Encoder, hts []flow.HostTime) {
+	e.U32(uint32(len(hts)))
 	for _, ht := range hts {
-		e.u32(uint32(ht.Host))
-		e.time(ht.Time)
+		e.U32(uint32(ht.Host))
+		e.Time(ht.Time)
 	}
 }
 
-func decodeHostTimes(d *decoder) []flow.HostTime {
-	n := d.count(minHostTime)
-	if d.err != nil || n == 0 {
+func decodeHostTimes(d *wire.Decoder) []flow.HostTime {
+	n := d.Count(minHostTime)
+	if d.Err() != nil || n == 0 {
 		return nil
 	}
 	out := make([]flow.HostTime, n)
 	for i := range out {
-		out[i] = flow.HostTime{Host: flow.IP(d.u32()), Time: d.time()}
+		out[i] = flow.HostTime{Host: flow.IP(d.U32()), Time: d.Time()}
 	}
 	return out
 }
 
 func encodeExporters(xs []collector.SequenceState) []byte {
-	var e encoder
-	e.u32(uint32(len(xs)))
+	var e wire.Encoder
+	e.U32(uint32(len(xs)))
 	for _, x := range xs {
-		e.str(x.Exporter)
-		e.u16(x.Engine)
-		e.bool(x.V5Seen)
-		e.u32(x.V5Next)
-		e.bool(x.V9Seen)
-		e.u32(x.V9Next)
+		e.Str(x.Exporter)
+		e.U16(x.Engine)
+		e.Bool(x.V5Seen)
+		e.U32(x.V5Next)
+		e.Bool(x.V9Seen)
+		e.U32(x.V9Next)
 	}
-	return e.b
+	return e.Bytes()
 }
 
-func decodeExporters(d *decoder) []collector.SequenceState {
-	n := d.count(minExporter)
-	if d.err != nil || n == 0 {
+func decodeExporters(d *wire.Decoder) []collector.SequenceState {
+	n := d.Count(minExporter)
+	if d.Err() != nil || n == 0 {
 		return nil
 	}
 	out := make([]collector.SequenceState, n)
 	for i := range out {
 		out[i] = collector.SequenceState{
-			Exporter: d.str(),
-			Engine:   d.u16(),
-			V5Seen:   d.bool(),
-			V5Next:   d.u32(),
-			V9Seen:   d.bool(),
-			V9Next:   d.u32(),
+			Exporter: d.Str(),
+			Engine:   d.U16(),
+			V5Seen:   d.Bool(),
+			V5Next:   d.U32(),
+			V9Seen:   d.Bool(),
+			V9Next:   d.U32(),
 		}
 	}
 	return out

@@ -18,6 +18,7 @@ package community
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"plotters/internal/flow"
@@ -36,7 +37,25 @@ type GraphConfig struct {
 	// rendezvous signal and would otherwise contribute O(fanin²) pairs.
 	// 0 means no cap.
 	MaxFanIn int
+	// IDFWeights switches edge weights from raw shared-contact counts to
+	// destination-rarity sums: each shared destination contributes
+	// log(hosts/fanin), in units of 1/256 (fixed point, so accumulation
+	// stays integer and order-independent), instead of 1. A destination
+	// only two hosts share outweighs one that half the monitored
+	// population below the fan-in cap also visits, sharpening the
+	// rendezvous signal without moving the MaxFanIn cliff. Edge
+	// *existence* still requires MinSharedContacts raw shared
+	// destinations, so the graph topology is identical either way; only
+	// the weights label propagation and the community shared-contact
+	// sums see change. Default off.
+	IDFWeights bool
 }
+
+// idfScale is the fixed-point scale for IDF edge weights: weights
+// accumulate as int32 multiples of 1/idfScale, keeping BuildGraph free
+// of float accumulation order effects (integer addition commutes; the
+// per-destination log is computed once).
+const idfScale = 256
 
 // Validate checks the configuration.
 func (c *GraphConfig) Validate() error {
@@ -93,16 +112,30 @@ func BuildGraph(contacts map[flow.IP][]flow.IP, cfg GraphConfig) (*Graph, error)
 
 	// Count shared contacts per host pair. Destinations contacted by one
 	// host pair nothing; destinations above the fan-in cap are popular
-	// services, not rendezvous points.
+	// services, not rendezvous points. With IDFWeights a second
+	// accumulator sums each destination's rarity instead of 1, but the
+	// raw count still decides edge existence.
 	pairs := make(map[uint64]int32)
+	var idf map[uint64]int64
+	if cfg.IDFWeights {
+		idf = make(map[uint64]int64)
+	}
 	for _, hs := range inv {
 		if len(hs) < 2 || (cfg.MaxFanIn > 0 && len(hs) > cfg.MaxFanIn) {
 			continue
 		}
+		var rarity int64
+		if cfg.IDFWeights {
+			rarity = int64(math.Round(math.Log(float64(len(g.hosts))/float64(len(hs))) * idfScale))
+		}
 		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
 		for i := 0; i < len(hs); i++ {
 			for j := i + 1; j < len(hs); j++ {
-				pairs[uint64(hs[i])<<32|uint64(hs[j])]++
+				key := uint64(hs[i])<<32 | uint64(hs[j])
+				pairs[key]++
+				if cfg.IDFWeights {
+					idf[key] += rarity
+				}
 			}
 		}
 	}
@@ -113,11 +146,22 @@ func BuildGraph(contacts map[flow.IP][]flow.IP, cfg GraphConfig) (*Graph, error)
 		if int(n) < cfg.MinSharedContacts {
 			continue
 		}
+		w := n
+		if cfg.IDFWeights {
+			// Keep the weight in fixed-point units — rounding to whole
+			// units would collapse most rarity distinctions — clamped to 1
+			// so a qualifying edge always carries a vote even when every
+			// shared destination is campus-wide popular (idf ≈ 0).
+			w = int32(idf[key])
+			if w < 1 {
+				w = 1
+			}
+		}
 		a, b := int32(key>>32), int32(key&0xffffffff)
 		g.adj[a] = append(g.adj[a], b)
-		g.wts[a] = append(g.wts[a], n)
+		g.wts[a] = append(g.wts[a], w)
 		g.adj[b] = append(g.adj[b], a)
-		g.wts[b] = append(g.wts[b], n)
+		g.wts[b] = append(g.wts[b], w)
 		g.edges++
 	}
 	for v := range g.adj {
@@ -162,8 +206,9 @@ func (g *Graph) Degree(h flow.IP) int {
 	return len(g.adj[v])
 }
 
-// Weight returns the shared-contact count between two hosts (0 if no
-// edge).
+// Weight returns the edge weight between two hosts (0 if no edge): the
+// shared-contact count, or the rounded destination-rarity sum when the
+// graph was built with IDFWeights.
 func (g *Graph) Weight(a, b flow.IP) int {
 	va, ok := g.index[a]
 	if !ok {

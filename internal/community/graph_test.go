@@ -77,6 +77,60 @@ func TestBuildGraphFanInUncapped(t *testing.T) {
 	}
 }
 
+// With IDF weighting on, topology is untouched but weights follow
+// destination rarity: a destination shared by fewer hosts outweighs a
+// widely-shared one.
+func TestBuildGraphIDFWeights(t *testing.T) {
+	raw, err := BuildGraph(contactsFixture(), GraphConfig{MinSharedContacts: 2, MaxFanIn: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(contactsFixture(), GraphConfig{MinSharedContacts: 2, MaxFanIn: 3, IDFWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hosts() != raw.Hosts() || g.Edges() != raw.Edges() {
+		t.Fatalf("IDF weighting changed topology: hosts %d/%d edges %d/%d",
+			g.Hosts(), raw.Hosts(), g.Edges(), raw.Edges())
+	}
+	if !reflect.DeepEqual(g.adj, raw.adj) {
+		t.Error("IDF weighting changed adjacency — it must only touch weights")
+	}
+	// Fixture fan-ins under the cap: 100→{1,2,4} (3 hosts), 101,102→{1,2,3}
+	// (3 hosts), 103→{2,3} (2 hosts). With 4 monitored hosts,
+	// idf(fanin=2) = log(2) > idf(fanin=3) = log(4/3). Pair 2-3 shares
+	// {101,102,103} and pair 1-2 shares {100,101,102}: same raw count 3,
+	// but 2-3 holds the rarer 103, so its IDF weight must be strictly
+	// higher (3·log(4/3) ≈ 221 fixed-point units vs
+	// 2·log(4/3)+log(2) ≈ 324).
+	w12, w23 := g.Weight(ip(1), ip(2)), g.Weight(ip(2), ip(3))
+	if raw.Weight(ip(1), ip(2)) != raw.Weight(ip(2), ip(3)) {
+		t.Fatal("fixture drifted: raw weights of 1-2 and 2-3 should tie")
+	}
+	if w23 <= w12 {
+		t.Errorf("IDF weight of pair sharing a rarer destination = %d, want > %d", w23, w12)
+	}
+	if w12 < 1 || w23 < 1 {
+		t.Errorf("IDF weights must stay >= 1, got %d and %d", w12, w23)
+	}
+}
+
+// An edge whose every shared destination is maximally popular (fan-in =
+// monitored hosts, IDF 0) still carries the clamp weight 1.
+func TestBuildGraphIDFClampsToOne(t *testing.T) {
+	contacts := map[flow.IP][]flow.IP{
+		ip(1): {ip(100), ip(101)},
+		ip(2): {ip(100), ip(101)},
+	}
+	g, err := BuildGraph(contacts, GraphConfig{MinSharedContacts: 2, IDFWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 1 || g.Weight(ip(1), ip(2)) != 1 {
+		t.Errorf("edges=%d weight=%d, want 1 edge of clamped weight 1", g.Edges(), g.Weight(ip(1), ip(2)))
+	}
+}
+
 func TestBuildGraphValidates(t *testing.T) {
 	if _, err := BuildGraph(nil, GraphConfig{MinSharedContacts: 0}); err == nil {
 		t.Error("MinSharedContacts=0 accepted")

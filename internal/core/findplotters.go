@@ -42,6 +42,19 @@ func FindPlotters(records []flow.Record, internal func(flow.IP) bool, cfg Config
 // "pipeline/..." stages and each filter's survivor count under the
 // "pipeline/hosts/..." gauges.
 func (a *Analysis) FindPlotters() (*Result, error) {
+	return a.runPipeline(func(union HostSet) (HMResult, error) {
+		return a.HMTest(union, a.cfg.HMPercentile)
+	})
+}
+
+// runPipeline is the stage driver shared by the single-process pipeline
+// and the distributed GlobalPass: initial reduction, θ_vol and θ_churn
+// over the reduced set, then the supplied θ_hm implementation over the
+// union of their survivors. The two callers differ only in where θ_hm's
+// per-host histogram signatures come from — raw interstitial samples
+// (HMTest) or precomputed shard sketches (hmFromSketches) — so every
+// threshold, gauge, and stage timer stays identical between them.
+func (a *Analysis) runPipeline(hm func(HostSet) (HMResult, error)) (*Result, error) {
 	reg := a.cfg.Metrics
 	total := reg.StartStage("pipeline")
 	reg.Gauge("pipeline/hosts/analyzed").Set(int64(len(a.feats)))
@@ -73,12 +86,12 @@ func (a *Analysis) FindPlotters() (*Result, error) {
 	union := vol.Kept.Union(churn.Kept)
 	reg.Gauge("pipeline/hosts/union").Set(int64(len(union)))
 	t = total.Child("hm")
-	hm, err := a.HMTest(union, a.cfg.HMPercentile)
+	hmRes, err := hm(union)
 	if err != nil {
 		return nil, fmt.Errorf("core: hm: %w", err)
 	}
 	t.Stop()
-	reg.Gauge("pipeline/hosts/suspects").Set(int64(len(hm.Kept)))
+	reg.Gauge("pipeline/hosts/suspects").Set(int64(len(hmRes.Kept)))
 	total.Stop()
 
 	return &Result{
@@ -86,7 +99,7 @@ func (a *Analysis) FindPlotters() (*Result, error) {
 		Reduction: red,
 		Volume:    vol,
 		Churn:     churn,
-		HM:        hm,
-		Suspects:  hm.Kept,
+		HM:        hmRes,
+		Suspects:  hmRes.Kept,
 	}, nil
 }

@@ -74,11 +74,7 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 			skipped++
 			continue
 		}
-		samples := f.Interstitials
-		if !a.cfg.RawTimeScale {
-			samples = logScale(samples)
-		}
-		hist, err := histogram.Build(samples, a.cfg.MaxHistogramBins)
+		hist, err := hmHistogram(f.Interstitials, a.cfg)
 		if err != nil {
 			return HMResult{}, fmt.Errorf("core: histogram for %v: %w", h, err)
 		}
@@ -108,6 +104,29 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		sigs[i] = sig
 	}
 	t.Stop()
+	return a.hmCluster(hosts, sigs, skipped, pct)
+}
+
+// hmHistogram builds one host's interstitial-time histogram at the
+// configured scale and resolution — the per-host sketch that is all
+// θ_hm ever looks at. It is deliberately a pure function of one host's
+// samples and the config, which is what lets the shard-local phase
+// (LocalPass) precompute it far from the coordinator that clusters.
+func hmHistogram(interstitials []float64, cfg Config) (*histogram.Histogram, error) {
+	samples := interstitials
+	if !cfg.RawTimeScale {
+		samples = logScale(samples)
+	}
+	return histogram.Build(samples, cfg.MaxHistogramBins)
+}
+
+// hmCluster is the global half of θ_hm: given the clusterable hosts (in
+// ascending address order) and their validated EMD signatures, run the
+// pairwise distance matrix, agglomerative clustering, and the τ_hm
+// diameter filter. Both the single-process HMTest and the distributed
+// GlobalPass end up here, so the two paths cannot diverge.
+func (a *Analysis) hmCluster(hosts []flow.IP, sigs []*emd.Signature, skipped int, pct float64) (HMResult, error) {
+	reg := a.cfg.Metrics
 
 	// Resolve the prune/gate cut. Exact distances only matter below the
 	// clustering cut — with UPGMA's monotone merge weights, the
@@ -118,7 +137,7 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 	// HMCut = 0 calibrates one from a deterministic host subsample.
 	cut := a.cfg.HMCut
 	if a.cfg.HMPrune && cut == 0 {
-		t = reg.StartStage("pipeline/hm/calibrate")
+		t := reg.StartStage("pipeline/hm/calibrate")
 		c, err := calibrateCut(sigs, a.cfg)
 		t.Stop()
 		if err != nil {
@@ -137,7 +156,7 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 		// host's support: the pairwise L1 of these fixed-length vectors
 		// lower-bounds the exact EMD (admissible — see internal/emd),
 		// and costs ~1/40th of an exact evaluation.
-		t = reg.StartStage("pipeline/hm/prefilter")
+		t := reg.StartStage("pipeline/hm/prefilter")
 		lo, hi := sigs[0].Support()
 		for _, s := range sigs[1:] {
 			slo, shi := s.Support()
@@ -165,7 +184,7 @@ func (a *Analysis) HMTest(s HostSet, pct float64) (HMResult, error) {
 	// and any error — bit-identical to a sequential i-then-j loop, and
 	// (when a cut is active) bit-identical between the pruned and the
 	// exhaustive-then-gated fills.
-	t = reg.StartStage("pipeline/hm/matrix")
+	t := reg.StartStage("pipeline/hm/matrix")
 	dist, err := distmatrix.Compute(context.Background(), len(hosts),
 		func(i, j int) (float64, error) { return sigs[i].Distance(sigs[j]), nil },
 		opts)

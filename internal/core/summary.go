@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"plotters/internal/emd"
+	"plotters/internal/flow"
+)
+
+// This file splits the FindPlotters pipeline into its shard-local and
+// global phases. The cut follows the paper's own structure: every
+// per-host quantity — the reduction/θ_vol/θ_churn feature vector and
+// the θ_hm interstitial-time histogram sketch — depends on one host's
+// flows alone, and host-hash sharding (flow.ShardOf) guarantees one
+// host's flows all land on one shard. Only the population-relative
+// decisions need a global view: the percentile thresholds, the pairwise
+// EMD clustering of θ_hm, and the community graph. So a shard runs
+// LocalPass over its hosts and ships a compact ShardSummary; the
+// coordinator merges the disjoint summaries and runs GlobalPass, and
+// the outcome is bit-identical to a single process running FindPlotters
+// over the union — the property the distributed golden test pins.
+//
+//	stage                        phase    needs
+//	per-host feature vector      local    one host's flows
+//	θ_hm histogram sketch        local    one host's interstitials
+//	contact set                  local    one host's destinations
+//	reduction median             global   every host's failed rate
+//	τ_vol / τ_churn percentiles  global   every candidate's features
+//	θ_hm EMD matrix + clusters   global   every sketch
+//	community graph              global   every contact set
+//
+// Serialization of ShardSummary lives in internal/dist, which frames it
+// with the checkpoint-derived wire codec and a format version.
+
+// HostSummary is one host's complete shard-local reduction: the scalar
+// feature vector every percentile test thresholds, the θ_hm histogram
+// sketch (present only when the host has enough interstitial samples to
+// cluster — the shard-local candidate filter that keeps the summary
+// compact), and the contacted-destination set the community detector
+// reads.
+type HostSummary struct {
+	Host flow.IP
+
+	// Scalar features, exactly the fields of flow.HostFeatures the
+	// global tests derive their ratios from.
+	Flows           int
+	SuccessfulFlows int
+	FailedFlows     int
+	BytesUploaded   uint64
+	Peers           int
+	NewPeers        int
+	FirstSeen       time.Time
+	LastSeen        time.Time
+
+	// InterstitialCount is how many interstitial-time samples the host
+	// accumulated. Hosts below Config.MinInterstitialSamples carry the
+	// count but no sketch: they can never pass θ_hm, and the count keeps
+	// the coordinator's Skipped accounting identical to single-process.
+	InterstitialCount int
+
+	// SketchPositions/SketchWeights are the host's Freedman–Diaconis
+	// histogram signature (bin centers and masses, non-empty bins only)
+	// at the configured time scale — everything θ_hm's EMD needs, at a
+	// fraction of the raw samples' size. Nil when InterstitialCount <
+	// MinInterstitialSamples.
+	SketchPositions []float64
+	SketchWeights   []float64
+
+	// Contacts is the host's contacted-destination set, ascending. Nil
+	// when the shard's feature source tracks no contacts.
+	Contacts []flow.IP
+}
+
+// Features reconstructs the flow.HostFeatures the scalar tests consume.
+// The raw Interstitials are deliberately absent — only their count and
+// sketch travel — so a reconstructed feature set feeds every stage
+// except a from-samples HMTest; GlobalPass clusters from the sketches.
+func (h *HostSummary) Features() *flow.HostFeatures {
+	return &flow.HostFeatures{
+		Host:            h.Host,
+		Flows:           h.Flows,
+		SuccessfulFlows: h.SuccessfulFlows,
+		FailedFlows:     h.FailedFlows,
+		BytesUploaded:   h.BytesUploaded,
+		Peers:           h.Peers,
+		NewPeers:        h.NewPeers,
+		FirstSeen:       h.FirstSeen,
+		LastSeen:        h.LastSeen,
+	}
+}
+
+// ShardSummary is one shard's complete contribution to one detection
+// window: the shard-local phase's output and the global phase's entire
+// input. Summaries of disjoint shards merge (MergeSummaries) into
+// exactly the summary a single process would have produced, which is
+// what makes the distributed pipeline bit-identical.
+type ShardSummary struct {
+	// Shard and Shards identify the host-hash slice this summary covers:
+	// every host h in it satisfies flow.ShardOf(h, Shards) == Shard.
+	// A merged summary spanning several shards keeps Shards and sets
+	// Shard to -1.
+	Shard  int
+	Shards int
+	// Window is the detection window the features cover.
+	Window flow.Window
+	// Partial marks a summary sealed by an end-of-feed flush before the
+	// window's nominal end — its verdict contribution is provisional.
+	Partial bool
+	// HasContacts records whether the shard's source tracked contacted
+	// destinations (the community detector's input).
+	HasContacts bool
+	// Hosts is ascending by address.
+	Hosts []HostSummary
+}
+
+// LocalPass runs the shard-local phase over one sealed window's feature
+// source: per-host feature reduction to the scalar vector, the θ_hm
+// sketch for hosts with enough samples, and contact-list capture.
+// shard/shards name the host-hash slice the source is expected to hold
+// (0/1 for the whole population); a host that hashes elsewhere is a
+// routing bug and a hard error, because a silently misplaced host would
+// shift every global percentile.
+func LocalPass(src flow.FeatureSource, cfg Config, shard, shards int) (*ShardSummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("core: local pass: shards = %d must be >= 1", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("core: local pass: shard %d outside [0,%d)", shard, shards)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: local pass: nil feature source")
+	}
+	reg := cfg.Metrics
+	total := reg.StartStage("localpass")
+	defer total.Stop()
+
+	feats := src.Features()
+	var contacts map[flow.IP][]flow.IP
+	if cs, ok := src.(flow.ContactSource); ok {
+		contacts = cs.Contacts()
+	}
+	sum := &ShardSummary{
+		Shard:       shard,
+		Shards:      shards,
+		Window:      src.Window(),
+		HasContacts: contacts != nil,
+		Hosts:       make([]HostSummary, 0, len(feats)),
+	}
+	hosts := flow.SortedHosts(feats)
+	t := total.Child("sketches")
+	for _, h := range hosts {
+		if got := flow.ShardOf(h, shards); got != shard {
+			return nil, fmt.Errorf("core: local pass: host %v hashes to shard %d but this source claims shard %d/%d", h, got, shard, shards)
+		}
+		f := feats[h]
+		hs := HostSummary{
+			Host:              h,
+			Flows:             f.Flows,
+			SuccessfulFlows:   f.SuccessfulFlows,
+			FailedFlows:       f.FailedFlows,
+			BytesUploaded:     f.BytesUploaded,
+			Peers:             f.Peers,
+			NewPeers:          f.NewPeers,
+			FirstSeen:         f.FirstSeen,
+			LastSeen:          f.LastSeen,
+			InterstitialCount: len(f.Interstitials),
+		}
+		if len(f.Interstitials) >= cfg.MinInterstitialSamples {
+			hist, err := hmHistogram(f.Interstitials, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: local pass: histogram for %v: %w", h, err)
+			}
+			hs.SketchPositions, hs.SketchWeights = hist.Signature()
+		}
+		if cset := contacts[h]; len(cset) > 0 {
+			hs.Contacts = append([]flow.IP(nil), cset...)
+			sortIPs(hs.Contacts)
+		}
+		sum.Hosts = append(sum.Hosts, hs)
+	}
+	t.Stop()
+	reg.Gauge("localpass/hosts").Set(int64(len(sum.Hosts)))
+	return sum, nil
+}
+
+// MergeSummaries combines disjoint shard summaries of the same window
+// into the single-process summary: the host lists interleave by
+// address, and every per-host field passes through untouched. Summaries
+// must agree on the shard count and window and must not share hosts —
+// any overlap means two shards claimed the same host, which would
+// double-count it in every percentile.
+func MergeSummaries(sums []*ShardSummary) (*ShardSummary, error) {
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("core: merge: no shard summaries")
+	}
+	first := sums[0]
+	total := 0
+	for _, s := range sums {
+		if s == nil {
+			return nil, fmt.Errorf("core: merge: nil shard summary")
+		}
+		if s.Shards != first.Shards {
+			return nil, fmt.Errorf("core: merge: summary of shard %d/%d cannot merge with shard %d/%d — the shard hash disagrees",
+				s.Shard, s.Shards, first.Shard, first.Shards)
+		}
+		if !s.Window.From.Equal(first.Window.From) || !s.Window.To.Equal(first.Window.To) {
+			return nil, fmt.Errorf("core: merge: summary of shard %d covers window [%v, %v) but shard %d covers [%v, %v)",
+				s.Shard, s.Window.From, s.Window.To, first.Shard, first.Window.From, first.Window.To)
+		}
+		total += len(s.Hosts)
+	}
+	out := &ShardSummary{
+		Shard:  first.Shard,
+		Shards: first.Shards,
+		Window: first.Window,
+		Hosts:  make([]HostSummary, 0, total),
+	}
+	if len(sums) > 1 {
+		out.Shard = -1
+	}
+	seen := make(map[int]bool, len(sums))
+	for _, s := range sums {
+		if s.Shard >= 0 {
+			if seen[s.Shard] {
+				return nil, fmt.Errorf("core: merge: two summaries for shard %d", s.Shard)
+			}
+			seen[s.Shard] = true
+		}
+		out.Partial = out.Partial || s.Partial
+		out.HasContacts = out.HasContacts || s.HasContacts
+		out.Hosts = append(out.Hosts, s.Hosts...)
+	}
+	sort.Slice(out.Hosts, func(i, j int) bool { return out.Hosts[i].Host < out.Hosts[j].Host })
+	for i := 1; i < len(out.Hosts); i++ {
+		if out.Hosts[i].Host == out.Hosts[i-1].Host {
+			return nil, fmt.Errorf("core: merge: host %v appears in more than one shard summary — per-host state must never split across shards", out.Hosts[i].Host)
+		}
+	}
+	return out, nil
+}
+
+// FeatureSet reconstructs the summary's hosts as a flow.FeatureSet
+// (with contact sets when the shards tracked them), the currency every
+// detector consumes.
+func (s *ShardSummary) FeatureSet() *flow.FeatureSet {
+	feats := make(map[flow.IP]*flow.HostFeatures, len(s.Hosts))
+	var contacts map[flow.IP][]flow.IP
+	if s.HasContacts {
+		contacts = make(map[flow.IP][]flow.IP, len(s.Hosts))
+	}
+	for i := range s.Hosts {
+		h := &s.Hosts[i]
+		feats[h.Host] = h.Features()
+		if s.HasContacts && len(h.Contacts) > 0 {
+			contacts[h.Host] = h.Contacts
+		}
+	}
+	set := flow.NewFeatureSet(feats, s.Window)
+	if s.HasContacts {
+		set = set.WithContacts(contacts)
+	}
+	return set
+}
+
+// Records sums the flows attributed to the summary's hosts.
+func (s *ShardSummary) Records() int {
+	n := 0
+	for i := range s.Hosts {
+		n += s.Hosts[i].Flows
+	}
+	return n
+}
+
+// GlobalPass runs the global phase over one window's shard summaries:
+// merge, population percentiles (reduction, τ_vol, τ_churn), and θ_hm
+// clustering from the shipped sketches. The result is bit-identical to
+// FindPlotters over the same population — same thresholds, survivor
+// sets, clusters, and suspects — because every per-host input was
+// computed by the same code on the shard and the global stages run the
+// same driver (runPipeline).
+func GlobalPass(sums []*ShardSummary, cfg Config) (*Result, error) {
+	merged, err := MergeSummaries(sums)
+	if err != nil {
+		return nil, err
+	}
+	a, err := NewAnalysisFromSource(merged.FeatureSet(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	byHost := make(map[flow.IP]*HostSummary, len(merged.Hosts))
+	for i := range merged.Hosts {
+		byHost[merged.Hosts[i].Host] = &merged.Hosts[i]
+	}
+	return a.runPipeline(func(union HostSet) (HMResult, error) {
+		return a.hmFromSketches(union, byHost, cfg.HMPercentile)
+	})
+}
+
+// hmFromSketches is θ_hm fed by precomputed shard sketches instead of
+// raw interstitial samples: reconstruct each clusterable host's EMD
+// signature from its shipped histogram signature, then hand off to the
+// same hmCluster the single-process HMTest uses. A host without a
+// sketch had fewer than MinInterstitialSamples observations on its
+// shard and is skipped, exactly as HMTest would have.
+func (a *Analysis) hmFromSketches(s HostSet, byHost map[flow.IP]*HostSummary, pct float64) (HMResult, error) {
+	reg := a.cfg.Metrics
+	hosts := make([]flow.IP, 0, len(s))
+	sigs := make([]*emd.Signature, 0, len(s))
+	skipped := 0
+	t := reg.StartStage("pipeline/hm/signatures")
+	for _, h := range s.Sorted() {
+		hs, ok := byHost[h]
+		if !ok || hs.SketchPositions == nil {
+			skipped++
+			continue
+		}
+		sig, err := emd.NewSignature(hs.SketchPositions, hs.SketchWeights)
+		if err != nil {
+			return HMResult{}, fmt.Errorf("core: EMD signature for %v: %w", h, err)
+		}
+		hosts = append(hosts, h)
+		sigs = append(sigs, sig)
+	}
+	t.Stop()
+	reg.Gauge("pipeline/hm/clustered").Set(int64(len(hosts)))
+	reg.Gauge("pipeline/hm/skipped").Set(int64(skipped))
+	if len(hosts) < 2 {
+		return HMResult{Kept: HostSet{}, Skipped: skipped, Clustered: len(hosts)}, nil
+	}
+	return a.hmCluster(hosts, sigs, skipped, pct)
+}
+
+// LocalName is the shard-local phase's detector identifier.
+const LocalName = "localpass"
+
+// LocalDetector adapts LocalPass to the Detector seam so a shard's
+// windowed engine can drive it: each sealed window's Detection carries
+// the ShardSummary as Details (and no suspects — a shard alone cannot
+// threshold a population it only sees a hash-slice of).
+type LocalDetector struct {
+	cfg    Config
+	shard  int
+	shards int
+}
+
+// NewLocalDetector wraps the shard-local phase for the given host-hash
+// slice.
+func NewLocalDetector(cfg Config, shard, shards int) (*LocalDetector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("core: shards = %d must be >= 1", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("core: shard %d outside [0,%d)", shard, shards)
+	}
+	return &LocalDetector{cfg: cfg, shard: shard, shards: shards}, nil
+}
+
+// Name implements Detector.
+func (d *LocalDetector) Name() string { return LocalName }
+
+// Detect implements Detector.
+func (d *LocalDetector) Detect(src flow.FeatureSource) (*Detection, error) {
+	sum, err := LocalPass(src, d.cfg, d.shard, d.shards)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", d.Name(), err)
+	}
+	return &Detection{Detector: d.Name(), Suspects: HostSet{}, Details: sum}, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"plotters/internal/flow"
+)
+
+// shardSplit partitions a feature source into per-shard sources by the
+// canonical host hash, exactly as a distributed deployment routes
+// records.
+func shardSplit(t *testing.T, src *flow.FeatureSet, shards int) []*flow.FeatureSet {
+	t.Helper()
+	parts := make([]map[flow.IP]*flow.HostFeatures, shards)
+	cparts := make([]map[flow.IP][]flow.IP, shards)
+	for i := range parts {
+		parts[i] = make(map[flow.IP]*flow.HostFeatures)
+		cparts[i] = make(map[flow.IP][]flow.IP)
+	}
+	contacts := src.Contacts()
+	for h, f := range src.Features() {
+		parts[flow.ShardOf(h, shards)][h] = f
+		if c := contacts[h]; c != nil {
+			cparts[flow.ShardOf(h, shards)][h] = c
+		}
+	}
+	out := make([]*flow.FeatureSet, shards)
+	for i := range parts {
+		out[i] = flow.NewFeatureSet(parts[i], src.Window()).WithContacts(cparts[i])
+	}
+	return out
+}
+
+func extractSet(t *testing.T, records []flow.Record, cfg Config) *flow.FeatureSet {
+	t.Helper()
+	return flow.ExtractFeatureSet(records, flow.FeatureOptions{
+		NewPeerGrace: cfg.NewPeerGrace,
+	}, flow.Window{})
+}
+
+// Any host-hash shard split's LocalPass outputs must merge to the
+// single-process ShardSummary, field for field.
+func TestLocalPassMergeMatchesSingle(t *testing.T) {
+	records := parallelCorpus(t)
+	cfg := DefaultConfig()
+	cfg.MinInterstitialSamples = 30
+	src := extractSet(t, records, cfg)
+	single, err := LocalPass(src, cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		var sums []*ShardSummary
+		for i, part := range shardSplit(t, src, shards) {
+			sum, err := LocalPass(part, cfg, i, shards)
+			if err != nil {
+				t.Fatalf("shards=%d shard=%d: %v", shards, i, err)
+			}
+			sums = append(sums, sum)
+		}
+		merged, err := MergeSummaries(sums)
+		if err != nil {
+			t.Fatalf("shards=%d: merge: %v", shards, err)
+		}
+		if !reflect.DeepEqual(merged.Hosts, single.Hosts) {
+			t.Fatalf("shards=%d: merged host summaries differ from single-process", shards)
+		}
+		if !merged.Window.From.Equal(single.Window.From) || !merged.Window.To.Equal(single.Window.To) {
+			t.Fatalf("shards=%d: merged window %v, want %v", shards, merged.Window, single.Window)
+		}
+	}
+}
+
+// GlobalPass over any shard split must reproduce FindPlotters bit for
+// bit: thresholds, survivor sets, clusters, suspects.
+func TestGlobalPassMatchesFindPlotters(t *testing.T) {
+	records := parallelCorpus(t)
+	cfg := DefaultConfig()
+	cfg.MinInterstitialSamples = 30
+	cfg.CutFraction = 0.3
+	src := extractSet(t, records, cfg)
+	a, err := NewAnalysisFromSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.FindPlotters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		var sums []*ShardSummary
+		for i, part := range shardSplit(t, src, shards) {
+			sum, err := LocalPass(part, cfg, i, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums = append(sums, sum)
+		}
+		got, err := GlobalPass(sums, cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got.Suspects, want.Suspects) {
+			t.Errorf("shards=%d: suspects differ:\ngot  %v\nwant %v", shards, got.Suspects.Sorted(), want.Suspects.Sorted())
+		}
+		if got.Reduction.Threshold != want.Reduction.Threshold ||
+			got.Volume.Threshold != want.Volume.Threshold ||
+			got.Churn.Threshold != want.Churn.Threshold ||
+			got.HM.Threshold != want.HM.Threshold {
+			t.Errorf("shards=%d: thresholds differ: got %v/%v/%v/%v want %v/%v/%v/%v", shards,
+				got.Reduction.Threshold, got.Volume.Threshold, got.Churn.Threshold, got.HM.Threshold,
+				want.Reduction.Threshold, want.Volume.Threshold, want.Churn.Threshold, want.HM.Threshold)
+		}
+		if !reflect.DeepEqual(got.Reduction.Kept, want.Reduction.Kept) ||
+			!reflect.DeepEqual(got.Volume.Kept, want.Volume.Kept) ||
+			!reflect.DeepEqual(got.Churn.Kept, want.Churn.Kept) {
+			t.Errorf("shards=%d: stage survivor sets differ", shards)
+		}
+		if !reflect.DeepEqual(got.HM.Clusters, want.HM.Clusters) ||
+			got.HM.Clustered != want.HM.Clustered || got.HM.Skipped != want.HM.Skipped {
+			t.Errorf("shards=%d: hm clustering differs", shards)
+		}
+	}
+}
+
+// A misrouted host — one whose hash says it belongs to another shard —
+// must be a hard, descriptive error, never a silently shifted
+// percentile.
+func TestLocalPassRejectsMisroutedHost(t *testing.T) {
+	records := parallelCorpus(t)
+	cfg := DefaultConfig()
+	cfg.MinInterstitialSamples = 30
+	src := extractSet(t, records, cfg)
+	_, err := LocalPass(src, cfg, 0, 4) // whole population claimed as shard 0 of 4
+	if err == nil {
+		t.Fatal("LocalPass accepted a source with hosts outside its shard")
+	}
+	if !strings.Contains(err.Error(), "hashes to shard") {
+		t.Fatalf("error %q does not name the misrouted host's true shard", err)
+	}
+}
+
+// Merging summaries that share a host must fail: per-host state may
+// never split across shards.
+func TestMergeRejectsOverlap(t *testing.T) {
+	records := parallelCorpus(t)
+	cfg := DefaultConfig()
+	cfg.MinInterstitialSamples = 30
+	src := extractSet(t, records, cfg)
+	sum, err := LocalPass(src, cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := *sum
+	dup.Shard = -1 // bypass the distinct-shard-index check to reach host overlap
+	if _, err := MergeSummaries([]*ShardSummary{sum, &dup}); err == nil {
+		t.Fatal("MergeSummaries accepted overlapping host sets")
+	}
+	if _, err := MergeSummaries([]*ShardSummary{sum, sum}); err == nil {
+		t.Fatal("MergeSummaries accepted two summaries for the same shard")
+	}
+}

@@ -54,17 +54,25 @@ func NewShardedExtractorSkew(opts FeatureOptions, shards int, maxSkew time.Durat
 	return se
 }
 
-// shardOf hashes an address to a shard. Campus addresses are dense and
-// sequential, so the raw value is finalized through an avalanche mix
-// (the 32-bit variant of SplitMix's finisher) before the modulo.
-func (se *ShardedExtractor) shardOf(ip IP) *extractorShard {
+// ShardOf hashes an address onto one of n shards. Campus addresses are
+// dense and sequential, so the raw value is finalized through an
+// avalanche mix (the 32-bit variant of SplitMix's finisher) before the
+// modulo. This is the one shard assignment in the system: the in-process
+// sharded store and the cross-process shard/coordinator split
+// (internal/dist) both use it, so every layer agrees which shard owns a
+// host and per-host state is never split across shards.
+func ShardOf(ip IP, n int) int {
 	x := uint32(ip)
 	x ^= x >> 16
 	x *= 0x7feb352d
 	x ^= x >> 15
 	x *= 0x846ca68b
 	x ^= x >> 16
-	return &se.shards[x%uint32(len(se.shards))]
+	return int(x % uint32(n))
+}
+
+func (se *ShardedExtractor) shardOf(ip IP) *extractorShard {
+	return &se.shards[ShardOf(ip, len(se.shards))]
 }
 
 // Shards returns the shard count.

@@ -42,6 +42,7 @@ import (
 	"plotters/internal/collector"
 	"plotters/internal/community"
 	"plotters/internal/core"
+	"plotters/internal/dist"
 	"plotters/internal/engine"
 	"plotters/internal/eval"
 	"plotters/internal/evasion"
@@ -50,6 +51,7 @@ import (
 	"plotters/internal/label"
 	"plotters/internal/metrics"
 	"plotters/internal/overlay"
+	"plotters/internal/simnet"
 	"plotters/internal/synth"
 	"plotters/internal/synth/plotter"
 	"plotters/internal/synth/scenario"
@@ -706,3 +708,119 @@ func SaveCheckpoint(path string, eng *WindowedDetector, exporters []ExporterSequ
 // with Checkpoint.RestoreEngine on a fresh detector built with the
 // snapshotted configuration.
 func OpenCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Read(path) }
+
+// Distributed detection: the pipeline split into a shard-local phase
+// (per-host feature reduction and θ_hm histogram sketches, computed by
+// N ShardWorker processes over disjoint host-hash slices) and a global
+// phase (population percentiles, EMD clustering, community graph, run
+// by one Coordinator over the merged ShardSummary frames). The split is
+// bit-identical to a single process: see DESIGN.md §6 and the
+// TestDistributedGolden equivalence suite.
+type (
+	// HostSummary is one host's complete shard-local reduction.
+	HostSummary = core.HostSummary
+	// ShardSummary is one shard's contribution to one detection window.
+	ShardSummary = core.ShardSummary
+	// LocalDetector adapts the shard-local phase to the Detector seam.
+	LocalDetector = core.LocalDetector
+	// DistEngineConfig shapes a DistributedDetector.
+	DistEngineConfig = engine.DistConfig
+	// DistributedDetector assembles per-shard window summaries into
+	// global detection results, sealing windows by shard watermark.
+	DistributedDetector = engine.DistributedDetector
+	// CoordinatorConfig shapes a distributed deployment's coordinator.
+	CoordinatorConfig = dist.CoordinatorConfig
+	// Coordinator accepts shard connections and runs the global phase.
+	Coordinator = dist.Coordinator
+	// ShardWorkerConfig shapes one shard process.
+	ShardWorkerConfig = dist.WorkerConfig
+	// ShardWorker runs the shard-local phase and streams summaries to
+	// the coordinator with at-least-once delivery.
+	ShardWorker = dist.ShardWorker
+	// ShardFingerprint pins the configuration knobs distributed
+	// bit-identity depends on; the connection handshake compares them.
+	ShardFingerprint = dist.Fingerprint
+	// ShardSeqState is one shard's transport sequence accounting.
+	ShardSeqState = dist.ShardSeq
+	// DistCluster is an in-process distributed deployment over pipe
+	// transports, for tests and experimentation.
+	DistCluster = simnet.DistCluster
+)
+
+// LocalDetectorName identifies the shard-local phase detector.
+const LocalDetectorName = core.LocalName
+
+// ShardOf hashes an address onto one of n shards — the one shard
+// assignment every layer of the system agrees on.
+func ShardOf(ip IP, n int) int { return flow.ShardOf(ip, n) }
+
+// NewFeatureSet wraps an extracted per-host feature map as an immutable
+// FeatureSource for the given window.
+func NewFeatureSet(feats map[IP]*HostFeatures, window Window) *FeatureSet {
+	return flow.NewFeatureSet(feats, window)
+}
+
+// LocalPass runs the shard-local phase over one sealed window's feature
+// source (shard 0 of 1 covers the whole population).
+func LocalPass(src FeatureSource, cfg Config, shard, shards int) (*ShardSummary, error) {
+	return core.LocalPass(src, cfg, shard, shards)
+}
+
+// MergeShardSummaries combines disjoint shard summaries of one window
+// into the single-process summary.
+func MergeShardSummaries(sums []*ShardSummary) (*ShardSummary, error) {
+	return core.MergeSummaries(sums)
+}
+
+// GlobalPass runs the global phase over one window's shard summaries,
+// bit-identical to FindPlotters over the merged population.
+func GlobalPass(sums []*ShardSummary, cfg Config) (*Result, error) {
+	return core.GlobalPass(sums, cfg)
+}
+
+// NewLocalDetector wraps the shard-local phase for one host-hash slice.
+func NewLocalDetector(cfg Config, shard, shards int) (*LocalDetector, error) {
+	return core.NewLocalDetector(cfg, shard, shards)
+}
+
+// NewDistributedDetector creates the coordinator-side window assembler;
+// emit receives completed windows in ascending order.
+func NewDistributedDetector(cfg DistEngineConfig, emit func(*WindowResult) error) (*DistributedDetector, error) {
+	return engine.NewDistributed(cfg, emit)
+}
+
+// NewCoordinator creates a distributed deployment's coordinator; drive
+// it with Coordinator.Listen (TCP) or Coordinator.ServeConn (any
+// net.Conn transport).
+func NewCoordinator(cfg CoordinatorConfig, emit func(*WindowResult) error) (*Coordinator, error) {
+	return dist.NewCoordinator(cfg, emit)
+}
+
+// NewShardWorker creates one shard process's worker.
+func NewShardWorker(cfg ShardWorkerConfig) (*ShardWorker, error) {
+	return dist.NewShardWorker(cfg)
+}
+
+// NewDistCluster wires cfg.Shards workers to a coordinator over
+// in-process pipes — the whole distributed pipeline without sockets.
+func NewDistCluster(cfg CoordinatorConfig, emit func(*WindowResult) error) (*DistCluster, error) {
+	return simnet.NewDistCluster(cfg, emit)
+}
+
+// ShardFingerprintOf derives the configuration fingerprint of one shard
+// engine configuration in an N-shard deployment.
+func ShardFingerprintOf(cfg EngineConfig, shards int) ShardFingerprint {
+	return dist.FingerprintOf(cfg, shards)
+}
+
+// EncodeShardSummary serializes one window's summary in the versioned
+// wire layout (the payload of a summary frame).
+func EncodeShardSummary(index int, s *ShardSummary) []byte {
+	return dist.EncodeSummary(index, s)
+}
+
+// DecodeShardSummary parses a summary payload, returning its window
+// index. Unknown versions and truncations are descriptive hard errors.
+func DecodeShardSummary(data []byte) (int, *ShardSummary, error) {
+	return dist.DecodeSummary(data)
+}
