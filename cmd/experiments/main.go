@@ -6,6 +6,15 @@
 // Usage:
 //
 //	experiments [-fig N[,N...]|all] [-days N] [-seed S] [-scale small|paper] [-hm-prune [-hm-cut D]] [-metrics FILE]
+//	experiments -campaign [-fig none] [-campaign-worlds W[,W...]] [-campaign-grid P[,P...]] [-campaign-out FILE]
+//
+// With -campaign, the red-team campaign runner sweeps bot-side
+// countermeasures (timer jitter, churn mimicry, volume padding, slow
+// start) at the given intensity grid across synthetic worlds, scores
+// each grid point against the detector ensemble (paper pipeline +
+// community detector + combiners), and prints the detection-rate vs.
+// evasion-cost frontier. -scale additionally accepts "tiny" for the
+// campaign (the CI smoke size). See DESIGN.md §6.
 //
 // With -metrics, cumulative pipeline stage timings across every figure
 // run are written to FILE as JSON (see EXPERIMENTS.md for how to read
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"plotters"
@@ -50,12 +60,26 @@ func run() error {
 		voteK     = flag.Int("vote-k", 0, "k for the ensemble k-of-n vote combiner (0 = majority)")
 		commIDF   = flag.Bool("community-idf", false, "weight community-graph edges by destination rarity (IDF) instead of raw shared-contact counts")
 		fanin     = flag.Bool("fanin-sweep", false, "sweep the community graph's MinSharedContacts × MaxFanIn grid and print the ROC table (use -fig none to run the sweep alone)")
+		camp      = flag.Bool("campaign", false, "run the red-team campaign: sweep countermeasures × synthetic worlds against the detector ensemble and print the evasion-cost frontier (use -fig none to run the campaign alone)")
+		campWorld = flag.String("campaign-worlds", "all", "comma-separated campaign world presets, or 'all'")
+		campGrid  = flag.String("campaign-grid", "0.25,0.5,1", "comma-separated ascending countermeasure intensities in (0,1]")
+		campOut   = flag.String("campaign-out", "", "write the campaign report to this file as JSON")
 	)
 	flag.Parse()
 
 	want, err := parseFigs(*figs)
 	if err != nil {
 		return err
+	}
+
+	if *camp {
+		if err := runCampaign(*seed, *days, *scale, *campWorld, *campGrid, *campOut, *voteK, *parallel, *hmPrune, *hmCut); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		// -fig none -campaign runs the campaign alone.
+		if len(want) == 0 && !*baselines && !*fanin {
+			return nil
+		}
 	}
 
 	cfg := plotters.DefaultDatasetConfig(*seed)
@@ -156,6 +180,57 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "pipeline metrics written to %s\n", *metricsTo)
+	}
+	return nil
+}
+
+// runCampaign executes the red-team campaign sweep and prints the
+// evasion-cost frontier as a markdown table (JSON also written when out
+// is set).
+func runCampaign(seed int64, days int, scale, worlds, grid, out string, voteK, parallel int, hmPrune bool, hmCut float64) error {
+	cfg := plotters.DefaultCampaignConfig(seed)
+	cfg.Days = days
+	cfg.Scale = plotters.CampaignScale(scale)
+	cfg.VoteK = voteK
+	cfg.Pipeline.Parallelism = parallel
+	cfg.Pipeline.HMPrune = hmPrune
+	cfg.Pipeline.HMCut = hmCut
+	if worlds != "all" {
+		cfg.Worlds = nil
+		for _, w := range strings.Split(worlds, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				cfg.Worlds = append(cfg.Worlds, w)
+			}
+		}
+	}
+	cfg.Intensities = nil
+	for _, part := range strings.Split(grid, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad -campaign-grid %q: %w", grid, err)
+		}
+		cfg.Intensities = append(cfg.Intensities, p)
+	}
+	cfg.Progress = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := plotters.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	if err := rep.CheckMonotone(); err != nil {
+		return err
+	}
+	fmt.Print(rep.Markdown())
+	if out != "" {
+		raw, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "campaign report written to %s\n", out)
 	}
 	return nil
 }

@@ -1,15 +1,17 @@
-// Evasion-study: quantifies what it would cost a botnet to evade each
-// detection test (§VI of the paper). It measures, on a synthesized
-// corpus, (a) the volume and churn increases the median bot needs to
-// clear the dynamic thresholds, and (b) how detection decays — and
-// command latency suffers — as bots jitter their connection timing.
+// Evasion-study: quantifies what it would cost a botnet to evade the
+// detectors (§VI of the paper), built on the red-team campaign runner.
+// It sweeps the four default countermeasures — timer jitter, churn
+// mimicry, volume padding toward τ_vol, slow-start peer contact — at an
+// intensity grid over two synthetic worlds (the plain campus and the
+// DHT-crawler hard case), scores every grid point against both
+// detectors and the ensemble combiners, and prints the resulting
+// detection-rate-vs-evasion-cost frontier. The same seed reproduces the
+// same report bit for bit.
 package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
-	"time"
 
 	"plotters"
 )
@@ -22,146 +24,85 @@ func main() {
 }
 
 func run() error {
-	cfg := plotters.DefaultDatasetConfig(2024)
+	cfg := plotters.DefaultCampaignConfig(2024)
 	cfg.Days = 2
-	cfg.DayTemplate.CampusHosts = 220
-	fmt.Println("synthesizing corpus...")
-	ds, err := plotters.GenerateDataset(cfg)
+	cfg.Scale = plotters.CampaignScaleSmall
+	cfg.Worlds = []string{"baseline", "dht-crawler"}
+	cfg.Intensities = []float64{0.25, 0.5, 1}
+	cfg.Progress = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := plotters.RunCampaign(cfg)
 	if err != nil {
 		return err
 	}
-	pipeCfg := plotters.DefaultConfig()
-
-	// Baseline: detection without evasion.
-	baseStorm, baseNugache, err := detectionRates(ds, ds.Storm.Records, ds.Nugache.Records, pipeCfg)
-	if err != nil {
+	if err := rep.CheckMonotone(); err != nil {
 		return err
 	}
-	fmt.Printf("baseline detection: storm %.0f%%, nugache %.0f%%\n\n", 100*baseStorm, 100*baseNugache)
+	fmt.Print(rep.Markdown())
 
-	// Part 1: how much more volume / churn would the median bot need?
-	day, err := plotters.OverlayDay(ds.Days[0], ds, 77, pipeCfg)
-	if err != nil {
-		return err
-	}
-	res, err := day.Analysis.FindPlotters()
-	if err != nil {
-		return err
-	}
-	feats := day.Analysis.Features()
-	medianVol := func(set plotters.HostSet) float64 {
-		var vals []float64
-		for h := range set {
-			vals = append(vals, feats[h].AvgBytesPerFlow())
+	// Headline: the cheapest countermeasure that meaningfully degrades
+	// each detector, judged over the full grid.
+	fmt.Println()
+	fmt.Println("== cheapest effective countermeasure per detector ==")
+	for _, det := range rep.Detectors {
+		name, point := cheapestEffective(rep, det)
+		if name == "" {
+			fmt.Printf("  %s: no countermeasure on the grid halves its detection — evasion costs more than the grid offers\n", det)
+			continue
 		}
-		return median(vals)
+		fmt.Printf("  %s: %s at intensity %.2f (cost: %+d bytes, %+d peers, +%s latency)\n",
+			det, name, point.Intensity, point.Cost.ExtraBytes, point.Cost.ExtraPeers, point.Cost.AddedLatency)
 	}
-	fmt.Println("== evading θ_vol (volume) ==")
-	for _, bot := range []struct {
-		name string
-		set  plotters.HostSet
-	}{
-		{"storm", day.Storm}, {"nugache", day.Nugache},
-	} {
-		m := medianVol(bot.set)
-		factor := plotters.RequiredVolumeFactor(m, res.Volume.Threshold)
-		fmt.Printf("  median %s host sends %.0f bytes/flow; threshold %.0f -> must inflate volume %.1fx\n",
-			bot.name, m, res.Volume.Threshold, factor)
-	}
-
-	fmt.Println("\n== evading θ_churn (peer churn) ==")
-	for _, bot := range []struct {
-		name string
-		set  plotters.HostSet
-	}{
-		{"storm", day.Storm}, {"nugache", day.Nugache},
-	} {
-		var factors []float64
-		for h := range bot.set {
-			f := feats[h]
-			if f.NewPeers > 0 {
-				factors = append(factors, plotters.RequiredChurnFactor(f.NewPeers, f.Peers, 0.9))
-			}
-		}
-		fmt.Printf("  median %s host must contact %.1fx more new IPs to reach a 90%% new-IP fraction\n",
-			bot.name, median(factors))
-	}
-
-	// Part 2: timing jitter vs. detection and command latency.
-	fmt.Println("\n== evading θ_hm (timing jitter) ==")
-	fmt.Println("  delay    storm-detect  nugache-detect  added-latency(avg)")
-	for _, d := range []time.Duration{30 * time.Second, 2 * time.Minute, 10 * time.Minute, time.Hour} {
-		rng := rand.New(rand.NewSource(int64(d)))
-		stormJ, err := plotters.JitterRepeatContacts(ds.Storm.Records, d, rng)
-		if err != nil {
-			return err
-		}
-		nugJ, err := plotters.JitterRepeatContacts(ds.Nugache.Records, d, rng)
-		if err != nil {
-			return err
-		}
-		st, nu, err := detectionRates(ds, stormJ, nugJ, pipeCfg)
-		if err != nil {
-			return err
-		}
-		// A uniform ±d delay adds d/2 expected latency to every command
-		// propagation hop.
-		fmt.Printf("  %-8s %8.0f%%      %8.0f%%      +%s/hop\n", d, 100*st, 100*nu, d/2)
-	}
-	fmt.Println("\nconclusion: evading the timing test requires minute-scale randomization,")
-	fmt.Println("which directly slows botnet command propagation — the paper's §VI result.")
+	fmt.Println()
+	fmt.Println("conclusion: evading the timing test requires minute-scale randomization,")
+	fmt.Println("which costs no traffic but directly slows botnet command propagation —")
+	fmt.Println("the paper's §VI result. The community detector watches contact structure,")
+	fmt.Println("not timing or volume, so no on-grid countermeasure dents it; churn toward")
+	fmt.Println("a shared decoy pool even strengthens it, because the decoys become new")
+	fmt.Println("mutual contacts. Evading both means per-bot disjoint decoy sets — the")
+	fmt.Println("extra-peers cost column, multiplied by the botnet's size.")
 	return nil
 }
 
-// detectionRates overlays (possibly transformed) traces onto both days
-// and returns the average Storm and Nugache detection rates.
-func detectionRates(ds *plotters.Dataset, stormRecs, nugRecs []plotters.Record, cfg plotters.Config) (float64, float64, error) {
-	var storm, nugache plotters.Rates
-	for i, day := range ds.Days {
-		de, err := overlayWith(day, ds, stormRecs, nugRecs, int64(300+i), cfg)
-		if err != nil {
-			return 0, 0, err
+// cheapestEffective returns the first (lowest-intensity, in grid order)
+// frontier point that at least halves the detector's combined baseline
+// detection rate on any world, preferring lower intensity across
+// countermeasures.
+func cheapestEffective(rep *plotters.CampaignReport, detector string) (string, plotters.CampaignFrontierPoint) {
+	var best plotters.CampaignFrontierPoint
+	found := ""
+	for _, w := range rep.Worlds {
+		base, ok := scoreOf(w.Baseline, detector)
+		if !ok {
+			continue
 		}
-		res, err := de.Analysis.FindPlotters()
-		if err != nil {
-			return 0, 0, err
+		baseRate := base.StormTPR() + base.NugacheTPR()
+		if baseRate == 0 {
+			continue
 		}
-		all := de.Analysis.Hosts()
-		s := plotters.Score(res.Suspects, all, de.Storm)
-		n := plotters.Score(res.Suspects, all, de.Nugache)
-		storm.TP += s.TP
-		storm.Plotters += s.Plotters
-		nugache.TP += n.TP
-		nugache.Plotters += n.Plotters
+		for _, p := range w.Frontier {
+			s, ok := scoreOf(p.Scores, detector)
+			if !ok {
+				continue
+			}
+			if s.StormTPR()+s.NugacheTPR() <= baseRate/2 {
+				if found == "" || p.Intensity < best.Intensity {
+					found, best = p.Countermeasure, p
+				}
+				break // grid is ascending per countermeasure; first hit is cheapest
+			}
+		}
 	}
-	return storm.TPR(), nugache.TPR(), nil
+	return found, best
 }
 
-// overlayWith builds a DayEval from externally transformed bot records.
-func overlayWith(day *plotters.Day, ds *plotters.Dataset, stormRecs, nugRecs []plotters.Record, seed int64, cfg plotters.Config) (*plotters.DayEval, error) {
-	modified := *ds
-	storm := *ds.Storm
-	storm.Records = stormRecs
-	nugache := *ds.Nugache
-	nugache.Records = nugRecs
-	modified.Storm = &storm
-	modified.Nugache = &nugache
-	return plotters.OverlayDay(day, &modified, seed, cfg)
-}
-
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+// scoreOf finds a named score in a row.
+func scoreOf(scores []plotters.CampaignScore, name string) (plotters.CampaignScore, bool) {
+	for _, s := range scores {
+		if s.Name == name {
+			return s, true
 		}
 	}
-	if n := len(sorted); n%2 == 1 {
-		return sorted[n/2]
-	}
-	n := len(sorted)
-	return (sorted[n/2-1] + sorted[n/2]) / 2
+	return plotters.CampaignScore{}, false
 }

@@ -1,0 +1,48 @@
+package campaign
+
+import (
+	"testing"
+
+	"plotters/internal/synth/scenario"
+)
+
+// BenchmarkCampaignSweep times one full tiny-scale campaign: corpus
+// synthesis plus every default countermeasure at a 2-point grid against
+// both detectors and the combiners.
+func BenchmarkCampaignSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(tinyConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Worlds) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkDiurnalCampusGeneration times synthesizing one day of the
+// 10x mixed-timezone diurnal campus and reports synthesis throughput.
+func BenchmarkDiurnalCampusGeneration(b *testing.B) {
+	w, err := NewWorld("diurnal-10x", ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := w.Template
+	cfg.Day = scenario.DefaultDatasetConfig(42).FirstDay
+	cfg.Seed = 42
+	var records int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day, err := scenario.GenerateDay(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = len(day.Records)
+	}
+	b.StopTimer()
+	if records == 0 {
+		b.Fatal("no records generated")
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

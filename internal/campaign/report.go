@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// JSON renders the report as indented JSON (trailing newline included),
+// the campaign's machine-readable artifact. Field order is fixed by the
+// struct definitions and map-free layout, so equal reports render to
+// equal bytes — the determinism tests compare this output directly.
+func (r *Report) JSON() ([]byte, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// Markdown renders the detection-rate-vs-evasion-cost frontier as one
+// GitHub-flavored table per world: the no-countermeasure baseline row
+// first, then every grid point with its cost and each detector's and
+// combiner's per-botnet detection rate.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Campaign frontier (seed %d, %d day(s), scale %s)\n\n", r.Seed, r.Days, r.Scale)
+	fmt.Fprintf(&b, "Detection cells are storm/nugache TPR; cost is what the botnet pays for the grid point.\n")
+	for i := range r.Worlds {
+		w := &r.Worlds[i]
+		fmt.Fprintf(&b, "\n### World %s (%d records, %d campus hosts", w.Name, w.Records, w.Hosts)
+		if len(w.Roles) > 0 {
+			names := make([]string, 0, len(w.Roles))
+			for role := range w.Roles {
+				names = append(names, role)
+			}
+			// RoleCounts returns a fresh map; sort for stable output.
+			sortStrings(names)
+			for _, role := range names {
+				fmt.Fprintf(&b, ", %d %s", w.Roles[role], role)
+			}
+		}
+		fmt.Fprintf(&b, ", τ_vol≈%.0f)\n\n", w.VolTarget)
+		names := scoreNames(w.Baseline)
+		fmt.Fprintf(&b, "| countermeasure | intensity | extra bytes | extra peers | added latency |")
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s |", n)
+		}
+		fmt.Fprintf(&b, "\n|---|---|---|---|---|")
+		for range names {
+			fmt.Fprintf(&b, "---|")
+		}
+		fmt.Fprintf(&b, "\n")
+		writeRow(&b, "(none)", 0, Cost{}, w.Baseline)
+		for _, p := range w.Frontier {
+			writeRow(&b, p.Countermeasure, p.Intensity, p.Cost, p.Scores)
+		}
+	}
+	return b.String()
+}
+
+// scoreNames extracts the score column order from a score row.
+func scoreNames(scores []Score) []string {
+	names := make([]string, len(scores))
+	for i, s := range scores {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// writeRow renders one frontier table row.
+func writeRow(b *strings.Builder, cm string, intensity float64, cost Cost, scores []Score) {
+	fmt.Fprintf(b, "| %s | %.2f | %s | %d | %s |", cm, intensity, formatBytes(cost.ExtraBytes), cost.ExtraPeers, formatLatency(cost.AddedLatency))
+	for _, s := range scores {
+		fmt.Fprintf(b, " %.2f/%.2f |", s.StormTPR(), s.NugacheTPR())
+	}
+	fmt.Fprintf(b, "\n")
+}
+
+// formatBytes renders a byte count compactly.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// formatLatency renders an added-latency cost compactly.
+func formatLatency(d time.Duration) string {
+	if d == 0 {
+		return "0"
+	}
+	return d.Round(time.Second).String()
+}
+
+// sortStrings is a tiny local sort to keep report.go free of extra
+// imports beyond what rendering needs.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

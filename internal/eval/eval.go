@@ -88,6 +88,25 @@ func (d *DayEval) Detections() ([]*core.Detection, error) {
 // Plotters returns all bot-carrying hosts.
 func (d *DayEval) Plotters() core.HostSet { return d.Storm.Union(d.Nugache) }
 
+// DetectWith runs the given detectors over the day's feature source and
+// returns their verdicts in detector order, without touching the day's
+// cached default-configuration results. Days built by Overlay always
+// carry a source; engine-built days that arrived without one refuse.
+func (d *DayEval) DetectWith(detectors []core.Detector) ([]*core.Detection, error) {
+	if d.source == nil {
+		return nil, fmt.Errorf("eval: day has no feature source attached")
+	}
+	out := make([]*core.Detection, 0, len(detectors))
+	for _, det := range detectors {
+		detection, err := det.Detect(d.source)
+		if err != nil {
+			return nil, fmt.Errorf("eval: detector %s: %w", det.Name(), err)
+		}
+		out = append(out, detection)
+	}
+	return out, nil
+}
+
 // Overlay builds a DayEval: assign the traces' bots to random active
 // hosts, merge, extract features, and label Traders from payloads —
 // the standalone batch path (the suite's engine path shares the overlay

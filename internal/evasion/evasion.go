@@ -8,6 +8,7 @@ package evasion
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -17,7 +18,9 @@ import (
 
 // InflateVolume multiplies the bytes uploaded on every successful flow by
 // factor — the direct way to evade θ_vol, at the cost of conspicuous
-// extra traffic. The input is not modified.
+// extra traffic. Counters saturate at their type maxima rather than
+// wrapping, matching the collector's saturating-counter convention. The
+// input is not modified.
 func InflateVolume(records []flow.Record, factor float64) ([]flow.Record, error) {
 	if factor <= 0 {
 		return nil, fmt.Errorf("evasion: volume factor must be positive, got %v", factor)
@@ -25,13 +28,33 @@ func InflateVolume(records []flow.Record, factor float64) ([]flow.Record, error)
 	out := make([]flow.Record, len(records))
 	for i, r := range records {
 		if !r.Failed() {
-			r.SrcBytes = uint64(float64(r.SrcBytes) * factor)
+			r.SrcBytes = satU64(float64(r.SrcBytes) * factor)
 			// More bytes means more packets on the wire.
-			r.SrcPkts = uint32(float64(r.SrcPkts)*factor) + 1
+			r.SrcPkts = satU32(float64(r.SrcPkts)*factor + 1)
 		}
 		out[i] = r
 	}
 	return out, nil
+}
+
+// satU32 converts a non-negative float to uint32, saturating at the
+// maximum instead of wrapping (float-to-integer overflow is undefined
+// in Go: the pre-fix cast produced 0 on amd64 for factor-inflated packet
+// counts past 2³²).
+func satU32(v float64) uint32 {
+	if v >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// satU64 converts a non-negative float to uint64, saturating at the
+// maximum instead of wrapping.
+func satU64(v float64) uint64 {
+	if v >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(v)
 }
 
 // PadFlows appends pad bytes of junk to every successful flow — the
@@ -105,6 +128,40 @@ func JitterRepeatContacts(records []flow.Record, d time.Duration, rng *rand.Rand
 		} else {
 			seen[key] = true
 		}
+		out[i] = r
+	}
+	flow.SortByStart(out)
+	return out, nil
+}
+
+// SlowStartContacts models a bot that rations peer rendezvous instead of
+// bursting through its peer list: every (source, destination) pair's
+// entire conversation is shifted later by a per-pair onset delay drawn
+// uniformly from [0, d]. Spreading first contacts over the ramp flattens
+// the per-hour new-destination fraction θ_churn keys on (peers whose
+// onset lands past the collection window vanish from it entirely) and
+// smears the shared rendezvous schedule, at the cost of delaying command
+// reachability of each peer by up to d. The result is re-sorted by start
+// time; the input is not modified.
+func SlowStartContacts(records []flow.Record, d time.Duration, rng *rand.Rand) ([]flow.Record, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("evasion: slow-start ramp must be non-negative, got %v", d)
+	}
+	out := make([]flow.Record, len(records))
+	onset := make(map[[2]uint32]time.Duration)
+	idx := timeOrder(records)
+	for _, i := range idx {
+		r := records[i]
+		key := [2]uint32{uint32(r.Src), uint32(r.Dst)}
+		delay, ok := onset[key]
+		if !ok {
+			if d > 0 {
+				delay = time.Duration(rng.Int63n(int64(d) + 1))
+			}
+			onset[key] = delay
+		}
+		r.Start = r.Start.Add(delay)
+		r.End = r.End.Add(delay)
 		out[i] = r
 	}
 	flow.SortByStart(out)

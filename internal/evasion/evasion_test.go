@@ -47,6 +47,111 @@ func TestInflateVolume(t *testing.T) {
 	}
 }
 
+func TestInflateVolumeSaturatesAtCounterMax(t *testing.T) {
+	r := rec(1, 2, t0(), flow.StateEstablished, math.MaxUint64/2)
+	r.SrcPkts = math.MaxUint32 - 1
+
+	// Right at the boundary: MaxUint32-1 packets × factor 1 + 1 lands
+	// exactly on the maximum without saturating past it.
+	out, err := InflateVolume([]flow.Record{r}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].SrcPkts != math.MaxUint32 {
+		t.Errorf("boundary: SrcPkts = %d, want %d", out[0].SrcPkts, uint32(math.MaxUint32))
+	}
+
+	// Past the boundary: the pre-fix cast wrapped (to 0 on amd64); the
+	// counters must saturate like the collector's do.
+	out, err = InflateVolume([]flow.Record{r}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].SrcPkts != math.MaxUint32 {
+		t.Errorf("overflow: SrcPkts = %d, want saturation at %d", out[0].SrcPkts, uint32(math.MaxUint32))
+	}
+	if out[0].SrcBytes != math.MaxUint64 {
+		t.Errorf("overflow: SrcBytes = %d, want saturation at %d", out[0].SrcBytes, uint64(math.MaxUint64))
+	}
+}
+
+func TestSlowStartContacts(t *testing.T) {
+	records := []flow.Record{
+		rec(1, 2, t0(), flow.StateEstablished, 100),
+		rec(1, 2, t0().Add(time.Minute), flow.StateEstablished, 100),
+		rec(1, 3, t0().Add(2*time.Minute), flow.StateEstablished, 100),
+	}
+	d := 10 * time.Minute
+	out, err := SlowStartContacts(records, d, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(records) {
+		t.Fatalf("len = %d, want %d", len(out), len(records))
+	}
+	// Every pair shifts as a unit: the gap between the two 1→2 flows is
+	// preserved even though both moved.
+	var pair12 []flow.Record
+	for _, r := range out {
+		if r.Dst == 2 {
+			pair12 = append(pair12, r)
+		}
+	}
+	if len(pair12) != 2 {
+		t.Fatalf("pair 1→2 has %d flows", len(pair12))
+	}
+	if gap := pair12[1].Start.Sub(pair12[0].Start); gap != time.Minute {
+		t.Errorf("intra-pair gap = %v, want 1m (pair must shift as a unit)", gap)
+	}
+	for _, r := range out {
+		shift := r.Start.Sub(records[0].Start)
+		if shift < 0 || shift > d+2*time.Minute {
+			t.Errorf("flow shifted outside [0, d]: start %v", r.Start)
+		}
+		if r.End.Sub(r.Start) != time.Second {
+			t.Errorf("flow duration changed: %v", r.End.Sub(r.Start))
+		}
+	}
+	if !records[0].Start.Equal(t0()) {
+		t.Error("input mutated")
+	}
+	// d = 0 is the identity.
+	same, err := SlowStartContacts(records, 0, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range same {
+		if !same[i].Start.Equal(records[i].Start) {
+			t.Errorf("d=0 moved record %d", i)
+		}
+	}
+	if _, err := SlowStartContacts(records, -time.Second, rand.New(rand.NewSource(7))); err == nil {
+		t.Error("negative ramp accepted")
+	}
+}
+
+func TestSlowStartContactsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var records []flow.Record
+	for i := 0; i < 200; i++ {
+		records = append(records, rec(flow.IP(1+i%5), flow.IP(100+rng.Intn(40)),
+			t0().Add(time.Duration(rng.Intn(3600))*time.Second), flow.StateEstablished, 500))
+	}
+	a, err := SlowStartContacts(records, time.Hour, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SlowStartContacts(records, time.Hour, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Start.Equal(b[i].Start) || a[i].Src != b[i].Src || a[i].Dst != b[i].Dst {
+			t.Fatalf("same seed diverged at record %d", i)
+		}
+	}
+}
+
 func TestPadFlows(t *testing.T) {
 	records := []flow.Record{
 		rec(1, 2, t0(), flow.StateEstablished, 100),

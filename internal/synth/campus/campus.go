@@ -40,6 +40,16 @@ type Config struct {
 	MailPoll time.Duration
 	// UpdateCheck enables periodic software-update HTTP checks.
 	UpdateCheck time.Duration
+	// Diurnal, when true, concentrates the host's browsing sessions into
+	// a triangular activity hump instead of spreading them uniformly
+	// across the window — the single-user day shape a large campus
+	// aggregates into its diurnal curve.
+	Diurnal bool
+	// TimezoneOffset shifts the host's activity hump within the window
+	// (modulo the window length), modeling remote workers and satellite
+	// campuses whose local peak hours differ. Only meaningful with
+	// Diurnal.
+	TimezoneOffset time.Duration
 }
 
 // Validate checks the configuration.
@@ -133,7 +143,12 @@ func (h *Host) Start() {
 	// Browsing sessions arrive as a Poisson process across the window.
 	n := poisson(h.rng, h.cfg.MeanSessions)
 	for i := 0; i < n; i++ {
-		at := h.cfg.Window.From.Add(simnet.UniformDur(h.rng, 0, h.cfg.Window.Duration()))
+		var at time.Time
+		if h.cfg.Diurnal {
+			at = h.cfg.Window.From.Add(h.diurnalOffset())
+		} else {
+			at = h.cfg.Window.From.Add(simnet.UniformDur(h.rng, 0, h.cfg.Window.Duration()))
+		}
 		h.sim.Schedule(at, h.browseSession)
 	}
 	if h.cfg.NTP {
@@ -145,6 +160,20 @@ func (h *Host) Start() {
 	if h.cfg.UpdateCheck > 0 {
 		h.sim.Schedule(h.cfg.Window.From.Add(simnet.UniformDur(h.rng, 0, h.cfg.UpdateCheck)), h.updateCheck)
 	}
+}
+
+// diurnalOffset samples a session start within the window from a
+// triangular hump (mean of two uniforms) peaked mid-window, then rotates
+// it by the host's timezone offset modulo the window length — hosts in
+// the same zone peak together, zones apart peak apart.
+func (h *Host) diurnalOffset() time.Duration {
+	d := h.cfg.Window.Duration()
+	tri := (simnet.UniformDur(h.rng, 0, d) + simnet.UniformDur(h.rng, 0, d)) / 2
+	off := (tri + h.cfg.TimezoneOffset) % d
+	if off < 0 {
+		off += d
+	}
+	return off
 }
 
 // browseSession models one human browsing burst: a run of page fetches
@@ -282,6 +311,48 @@ type PopulationConfig struct {
 	Window flow.Window
 	// WebPool is shared across the fleet.
 	WebPool *synth.ExternalIPPool
+	// TimezoneSpread, when positive, switches every host to diurnal
+	// session placement and spreads their activity peaks over offsets
+	// drawn uniformly from ±TimezoneSpread/2 — the mixed-timezone campus.
+	// Zero keeps the fleet's original uniform placement (and RNG stream)
+	// bit-identical.
+	TimezoneSpread time.Duration
+}
+
+// RandomConfig draws one background host's personality from the fleet
+// RNG: bimodal failure rate, session/request shape, and the optional
+// periodic chores. NewPopulation consumes it per host; NAT'd world
+// builders reuse it to stack several personas behind one address.
+func RandomConfig(rng *rand.Rand, host flow.IP, window flow.Window, webPool *synth.ExternalIPPool) Config {
+	// Failure rates are bimodal on a real campus: most hosts fail
+	// rarely (the occasional dead link), while a flaky minority —
+	// misconfigured clients, hosts chasing dead services — fails
+	// often. The initial data-reduction step's power comes from this
+	// gap between ordinary hosts and P2P-style failure rates.
+	fail := simnet.LogNormalMedian(rng, 0.07, 0.6)
+	if simnet.Bernoulli(rng, 0.3) {
+		fail = simnet.LogNormalMedian(rng, 0.32, 0.45)
+	}
+	if fail > 0.65 {
+		fail = 0.65
+	}
+	hc := Config{
+		Host:         host,
+		Window:       window,
+		WebPool:      webPool,
+		MeanSessions: 2 + simnet.Exp(rng, 4),
+		FailRate:     fail,
+		ReqMedian:    400 + rng.Float64()*900,
+		ReqSigma:     0.5 + rng.Float64()*0.4,
+		NTP:          simnet.Bernoulli(rng, 0.35),
+	}
+	if simnet.Bernoulli(rng, 0.4) {
+		hc.MailPoll = simnet.UniformDur(rng, 2*time.Minute, 11*time.Minute)
+	}
+	if simnet.Bernoulli(rng, 0.25) {
+		hc.UpdateCheck = simnet.UniformDur(rng, 20*time.Minute, 110*time.Minute)
+	}
+	return hc
 }
 
 // NewPopulation builds a heterogeneous fleet: most hosts are light web
@@ -294,33 +365,10 @@ func NewPopulation(cfg PopulationConfig, plan *synth.AddrPlan, sim *simnet.Simul
 	rng := sim.Fork()
 	hosts := make([]*Host, 0, cfg.Hosts)
 	for i := 0; i < cfg.Hosts; i++ {
-		// Failure rates are bimodal on a real campus: most hosts fail
-		// rarely (the occasional dead link), while a flaky minority —
-		// misconfigured clients, hosts chasing dead services — fails
-		// often. The initial data-reduction step's power comes from this
-		// gap between ordinary hosts and P2P-style failure rates.
-		fail := simnet.LogNormalMedian(rng, 0.07, 0.6)
-		if simnet.Bernoulli(rng, 0.3) {
-			fail = simnet.LogNormalMedian(rng, 0.32, 0.45)
-		}
-		if fail > 0.65 {
-			fail = 0.65
-		}
-		hc := Config{
-			Host:         plan.NextInternal(),
-			Window:       cfg.Window,
-			WebPool:      cfg.WebPool,
-			MeanSessions: 2 + simnet.Exp(rng, 4),
-			FailRate:     fail,
-			ReqMedian:    400 + rng.Float64()*900,
-			ReqSigma:     0.5 + rng.Float64()*0.4,
-			NTP:          simnet.Bernoulli(rng, 0.35),
-		}
-		if simnet.Bernoulli(rng, 0.4) {
-			hc.MailPoll = simnet.UniformDur(rng, 2*time.Minute, 11*time.Minute)
-		}
-		if simnet.Bernoulli(rng, 0.25) {
-			hc.UpdateCheck = simnet.UniformDur(rng, 20*time.Minute, 110*time.Minute)
+		hc := RandomConfig(rng, plan.NextInternal(), cfg.Window, cfg.WebPool)
+		if cfg.TimezoneSpread > 0 {
+			hc.Diurnal = true
+			hc.TimezoneOffset = simnet.UniformDur(rng, 0, cfg.TimezoneSpread) - cfg.TimezoneSpread/2
 		}
 		h, err := New(hc, sim)
 		if err != nil {

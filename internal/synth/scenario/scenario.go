@@ -13,6 +13,7 @@ import (
 	"plotters/internal/simnet"
 	"plotters/internal/synth"
 	"plotters/internal/synth/campus"
+	"plotters/internal/synth/crawler"
 	"plotters/internal/synth/plotter"
 	"plotters/internal/synth/trader"
 )
@@ -31,7 +32,42 @@ type DayConfig struct {
 	BitTorrent int
 	// PeerNetworkNodes sizes the file-sharing peer population.
 	PeerNetworkNodes int
+
+	// The remaining fields enrich the world beyond the paper's campus;
+	// all default to zero, and a zero value leaves the generated day
+	// bit-identical to the original shape (no extra RNG forks happen).
+
+	// EDonkey is the count of server-mediated eDonkey Traders (index
+	// server lookups plus the rare-file long tail).
+	EDonkey int
+	// CrossSwarm is the count of BitTorrent Traders trading in
+	// SwarmsPerPeer torrents concurrently.
+	CrossSwarm int
+	// SwarmsPerPeer is how many swarms each cross-swarm Trader joins
+	// (0 defaults to 4 when CrossSwarm > 0).
+	SwarmsPerPeer int
+	// NATGateways is the count of campus addresses that aggregate
+	// NATHostsBehind distinct user personas (plus one BitTorrent client)
+	// behind a single border IP.
+	NATGateways int
+	// NATHostsBehind is the persona count behind each NAT gateway
+	// (0 defaults to 6 when NATGateways > 0).
+	NATHostsBehind int
+	// DHTCrawlers is the count of DHT crawler/indexer hosts — bot-like
+	// churn with Trader-like upload volume, the designed hard case.
+	DHTCrawlers int
+	// TimezoneSpread, in hours, switches the campus fleet to diurnal
+	// session placement with activity peaks spread across timezones.
+	TimezoneSpread int
 }
+
+// Role names attached to Day.Roles for the enriched host kinds.
+const (
+	RoleEDonkey    = "edonkey"
+	RoleCrossSwarm = "cross-swarm"
+	RoleNATGateway = "nat-gateway"
+	RoleDHTCrawler = "dht-crawler"
+)
 
 // DefaultDayConfig returns the evaluation's per-day shape: a few hundred
 // background hosts and a few dozen Traders, scaled down from the campus
@@ -59,6 +95,12 @@ func (c *DayConfig) Validate() error {
 	if c.PeerNetworkNodes < 100 {
 		return fmt.Errorf("scenario: peer network too small (%d)", c.PeerNetworkNodes)
 	}
+	if c.EDonkey < 0 || c.CrossSwarm < 0 || c.NATGateways < 0 || c.DHTCrawlers < 0 {
+		return fmt.Errorf("scenario: enriched-world host counts must be non-negative")
+	}
+	if c.SwarmsPerPeer < 0 || c.NATHostsBehind < 0 || c.TimezoneSpread < 0 {
+		return fmt.Errorf("scenario: enriched-world shape parameters must be non-negative")
+	}
 	return nil
 }
 
@@ -72,6 +114,18 @@ type Day struct {
 	TraderHosts map[flow.IP]trader.App
 	// CampusHosts lists the background host addresses.
 	CampusHosts []flow.IP
+	// Roles maps enriched-world hosts (eDonkey, cross-swarm, NAT
+	// gateway, DHT crawler) to their role name; nil for plain days.
+	Roles map[flow.IP]string
+}
+
+// RoleCounts tallies Roles by role name (empty for plain days).
+func (d *Day) RoleCounts() map[string]int {
+	out := make(map[string]int)
+	for _, role := range d.Roles {
+		out[role]++
+	}
+	return out
 }
 
 // GenerateDay synthesizes one campus day with embedded Traders.
@@ -101,9 +155,10 @@ func GenerateDay(cfg DayConfig) (*Day, error) {
 
 	var plan synth.AddrPlan
 	fleet, err := campus.NewPopulation(campus.PopulationConfig{
-		Hosts:   cfg.CampusHosts,
-		Window:  window,
-		WebPool: webPool,
+		Hosts:          cfg.CampusHosts,
+		Window:         window,
+		WebPool:        webPool,
+		TimezoneSpread: time.Duration(cfg.TimezoneSpread) * time.Hour,
 	}, &plan, sim)
 	if err != nil {
 		return nil, err
@@ -140,6 +195,80 @@ func GenerateDay(cfg DayConfig) (*Day, error) {
 		return nil, err
 	}
 
+	// Enriched-world hosts come after the classic population so zero
+	// counts leave the simulation's fork order — and hence every record —
+	// bit-identical to the original day shape.
+	roles := make(map[flow.IP]string)
+	for i := 0; i < cfg.EDonkey; i++ {
+		host := plan.NextInternal()
+		tc := trader.DefaultConfig(host, trader.EDonkey, window, peerNet, trackerPool)
+		rng := sim.Fork()
+		tc.Sessions = 2 + rng.Intn(3)
+		tr, err := trader.New(tc, sim)
+		if err != nil {
+			return nil, err
+		}
+		tr.Start()
+		traders[host] = trader.EDonkey
+		roles[host] = RoleEDonkey
+	}
+	swarms := cfg.SwarmsPerPeer
+	if swarms == 0 {
+		swarms = 4
+	}
+	for i := 0; i < cfg.CrossSwarm; i++ {
+		host := plan.NextInternal()
+		tc := trader.DefaultConfig(host, trader.BitTorrent, window, peerNet, trackerPool)
+		rng := sim.Fork()
+		tc.Sessions = 2 + rng.Intn(3)
+		tc.Swarms = swarms
+		tr, err := trader.New(tc, sim)
+		if err != nil {
+			return nil, err
+		}
+		tr.Start()
+		traders[host] = trader.BitTorrent
+		roles[host] = RoleCrossSwarm
+	}
+	behind := cfg.NATHostsBehind
+	if behind == 0 {
+		behind = 6
+	}
+	for i := 0; i < cfg.NATGateways; i++ {
+		addr := plan.NextInternal()
+		prng := sim.Fork()
+		// behind−1 user personas plus one file-sharing persona share the
+		// gateway address: the border sees their union as one host.
+		for j := 0; j < behind-1; j++ {
+			h, err := campus.New(campus.RandomConfig(prng, addr, window, webPool), sim)
+			if err != nil {
+				return nil, err
+			}
+			h.Start()
+		}
+		tc := trader.DefaultConfig(addr, trader.BitTorrent, window, peerNet, trackerPool)
+		tc.Sessions = 1 + prng.Intn(2)
+		tr, err := trader.New(tc, sim)
+		if err != nil {
+			return nil, err
+		}
+		tr.Start()
+		traders[addr] = trader.BitTorrent
+		roles[addr] = RoleNATGateway
+	}
+	for i := 0; i < cfg.DHTCrawlers; i++ {
+		host := plan.NextInternal()
+		cr, err := crawler.New(crawler.DefaultConfig(host, window, peerNet, webPool), sim)
+		if err != nil {
+			return nil, err
+		}
+		cr.Start()
+		roles[host] = RoleDHTCrawler
+	}
+	if len(roles) == 0 {
+		roles = nil
+	}
+
 	sim.Run(window.To)
 	records := window.Filter(sim.Records())
 	flow.SortByStart(records)
@@ -148,6 +277,7 @@ func GenerateDay(cfg DayConfig) (*Day, error) {
 		Records:     records,
 		TraderHosts: traders,
 		CampusHosts: campusAddrs,
+		Roles:       roles,
 	}, nil
 }
 

@@ -1,0 +1,105 @@
+package trader
+
+import (
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/kademlia"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+)
+
+// Cross-swarm BitTorrent participation, after the network-wide swarm
+// measurements (Scanlon et al.): a large share of BitTorrent peers trade
+// in several torrents at once, each swarm with its own tracker, announce
+// cadence, and peer set. At the border this multiplies a single host's
+// destination fan-out and tracker set without changing any per-swarm
+// behavior — the shape a seedbox or a busy home client presents.
+
+// btSwarm is one extra torrent's state: its tracker, current peer set,
+// and tracker-assigned announce period.
+type btSwarm struct {
+	tracker        flow.IP
+	peers          []kademlia.Contact
+	announcePeriod time.Duration
+}
+
+// startExtraSwarms joins swarms 2..Swarms on top of the primary torrent
+// bittorrentJoin already runs, staggered the way a client resuming its
+// torrent list does.
+func (t *Trader) startExtraSwarms() {
+	for i := 1; i < t.cfg.Swarms; i++ {
+		s := &btSwarm{tracker: t.cfg.Trackers.Pick()}
+		t.sim.After(simnet.UniformDur(t.rng, 2*time.Second, 2*time.Minute), func() {
+			t.swarmAnnounce(s)
+		})
+		t.sim.After(simnet.UniformDur(t.rng, 10*time.Second, 3*time.Minute), func() {
+			t.swarmTradeLoop(s)
+		})
+	}
+}
+
+// swarmAnnounce announces one extra swarm to its tracker and refreshes
+// that swarm's peer set.
+func (t *Trader) swarmAnnounce(s *btSwarm) {
+	if !t.inSession() {
+		return
+	}
+	synth.EmitFlow(t.sim, synth.FlowSpec{
+		Src: t.cfg.Host, Dst: s.tracker,
+		SrcPort: t.ports.Next(), DstPort: 80, Proto: flow.TCP,
+		Duration: simnet.UniformDur(t.rng, 200*time.Millisecond, 2*time.Second),
+		ReqBytes: 350, RspBytes: uint64(simnet.LogNormalMedian(t.rng, 1500, 0.4)),
+		Success: !simnet.Bernoulli(t.rng, t.cfg.FailBias),
+		Payload: btAnnounce,
+	})
+	s.peers = t.cfg.Network.SampleContacts(t.rng, 8+t.rng.Intn(12))
+	if s.announcePeriod == 0 {
+		s.announcePeriod = simnet.UniformDur(t.rng, 15*time.Minute, 45*time.Minute)
+	}
+	t.sim.After(simnet.Jitter(t.rng, s.announcePeriod, 0.25), func() { t.swarmAnnounce(s) })
+}
+
+// swarmTradeLoop trades pieces within one extra swarm, mirroring the
+// primary swarm's churn-and-transfer shape on an independent peer set.
+func (t *Trader) swarmTradeLoop(s *btSwarm) {
+	if !t.inSession() {
+		return
+	}
+	if len(s.peers) == 0 {
+		s.peers = t.cfg.Network.SampleContacts(t.rng, 10)
+	}
+	n := 1 + t.rng.Intn(3)
+	for i := 0; i < n && len(s.peers) > 0; i++ {
+		peer := s.peers[t.rng.Intn(len(s.peers))]
+		t.sim.After(simnet.UniformDur(t.rng, 0, 15*time.Second), func() {
+			if !t.inSession() {
+				return
+			}
+			ok := t.peerOnline(peer)
+			seedSide := simnet.Bernoulli(t.rng, 0.5)
+			req := simnet.LogNormalMedian(t.rng, 2500, 0.8)
+			rsp := simnet.LogNormalMedian(t.rng, float64(t.cfg.UploadMedian)*4, t.cfg.UploadSigma)
+			if seedSide {
+				req = simnet.LogNormalMedian(t.rng, t.cfg.UploadMedian, t.cfg.UploadSigma)
+				rsp = simnet.LogNormalMedian(t.rng, 2000, 0.6)
+			}
+			synth.EmitFlow(t.sim, synth.FlowSpec{
+				Src: t.cfg.Host, Dst: peer.Addr,
+				SrcPort: t.ports.Next(), DstPort: btPeerPort, Proto: flow.TCP,
+				Duration: simnet.UniformDur(t.rng, 20*time.Second, 8*time.Minute),
+				ReqBytes: uint64(req), RspBytes: uint64(rsp),
+				Success: ok,
+				Payload: btHandshake,
+			})
+		})
+	}
+	if simnet.Bernoulli(t.rng, 0.4) {
+		t.sim.After(simnet.UniformDur(t.rng, time.Second, 30*time.Second), func() {
+			if t.inSession() {
+				t.emitInbound(btPeerPort, btHandshake, 2500, t.cfg.UploadMedian)
+			}
+		})
+	}
+	t.sim.After(t.humanGap(10), func() { t.swarmTradeLoop(s) })
+}

@@ -1,0 +1,143 @@
+package trader
+
+import (
+	"time"
+
+	"plotters/internal/flow"
+	"plotters/internal/simnet"
+	"plotters/internal/synth"
+)
+
+// eDonkey server-mediated client, shaped by the distributed-honeypot
+// measurements (Allali et al.): unlike the KAD-era eMule model, every
+// lookup goes through an index server — a TCP login session held open to
+// one home server plus UDP global searches sprayed across the wider
+// server list — and the request mix follows the measured rare-file long
+// tail. Most source fetches chase unpopular files with one or two
+// providers that are frequently offline (driving failed connections to
+// ever-new peer addresses), while the few popular files supply the bulk
+// of the transferred bytes.
+const (
+	edonkeySrvTCPPort  = 4661
+	edonkeySrvUDPPort  = 4665
+	edonkeyPeerTCPPort = 4662
+)
+
+// rare-file long tail: the share of searches that chase rare content,
+// how few sources such files have, and how often those sources are dead.
+const (
+	edonkeyRareShare       = 0.75
+	edonkeyRareSourceDead  = 0.7
+	edonkeyPopularSrcCount = 4
+)
+
+// edonkeyConnect opens the session: log into the home index server, then
+// run server-mediated searches and the source transfer queue.
+func (t *Trader) edonkeyConnect() {
+	server := t.cfg.Trackers.Pick()
+	synth.EmitFlow(t.sim, synth.FlowSpec{
+		Src: t.cfg.Host, Dst: server,
+		SrcPort: t.ports.Next(), DstPort: edonkeySrvTCPPort, Proto: flow.TCP,
+		Duration: simnet.UniformDur(t.rng, time.Second, 12*time.Second),
+		ReqBytes: 600, RspBytes: 5000,
+		Success: !simnet.Bernoulli(t.rng, t.cfg.FailBias),
+		Payload: emuleTCPHello(),
+	})
+	t.sim.After(simnet.UniformDur(t.rng, 2*time.Second, 10*time.Second), func() {
+		t.edonkeySearchLoop(server)
+	})
+	t.sim.After(simnet.UniformDur(t.rng, 10*time.Second, 40*time.Second), t.edonkeyServeLoop)
+}
+
+// edonkeySearchLoop runs one server-mediated search round: a source query
+// to the home server, a spray of UDP global searches across other index
+// servers (the honeypot studies observe clients probing many servers),
+// then connection attempts to the returned sources.
+func (t *Trader) edonkeySearchLoop(server flow.IP) {
+	if !t.inSession() {
+		return
+	}
+	synth.EmitFlow(t.sim, synth.FlowSpec{
+		Src: t.cfg.Host, Dst: server,
+		SrcPort: t.ports.Next(), DstPort: edonkeySrvTCPPort, Proto: flow.TCP,
+		Duration: simnet.UniformDur(t.rng, 300*time.Millisecond, 3*time.Second),
+		ReqBytes: uint64(simnet.LogNormalMedian(t.rng, 250, 0.4)),
+		RspBytes: uint64(simnet.LogNormalMedian(t.rng, 1800, 0.6)),
+		Success:  !simnet.Bernoulli(t.rng, t.cfg.FailBias),
+		Payload:  emuleTCPHello(),
+	})
+	// Global UDP search: rare files miss on the home server, so the
+	// client fans out across the server list.
+	extra := 1 + t.rng.Intn(4)
+	for i := 0; i < extra; i++ {
+		other := t.cfg.Trackers.Pick()
+		t.sim.After(simnet.UniformDur(t.rng, 200*time.Millisecond, 2*time.Second), func() {
+			if !t.inSession() {
+				return
+			}
+			synth.EmitFlow(t.sim, synth.FlowSpec{
+				Src: t.cfg.Host, Dst: other,
+				SrcPort: edonkeySrvUDPPort, DstPort: edonkeySrvUDPPort, Proto: flow.UDP,
+				Duration: 400 * time.Millisecond,
+				ReqBytes: uint64(simnet.LogNormalMedian(t.rng, 90, 0.3)),
+				RspBytes: uint64(simnet.LogNormalMedian(t.rng, 300, 0.6)),
+				Success:  !simnet.Bernoulli(t.rng, 0.25),
+				Payload:  emuleKADReq(),
+			})
+		})
+	}
+	t.sim.After(simnet.UniformDur(t.rng, 3*time.Second, 12*time.Second), t.edonkeyFetchSources)
+	t.sim.After(t.paced(simnet.UniformDur(t.rng, 3*time.Minute, 9*time.Minute)), func() {
+		t.edonkeySearchLoop(server)
+	})
+}
+
+// edonkeyFetchSources dials the sources one search returned. The
+// long-tail split decides the outcome shape: rare files have one or two
+// mostly-dead sources; popular files have several live ones serving
+// multi-MB parts.
+func (t *Trader) edonkeyFetchSources() {
+	if !t.inSession() {
+		return
+	}
+	rare := simnet.Bernoulli(t.rng, edonkeyRareShare)
+	n := 1 + t.rng.Intn(2)
+	deadProb := edonkeyRareSourceDead
+	median := t.cfg.UploadMedian
+	if !rare {
+		n = 2 + t.rng.Intn(edonkeyPopularSrcCount)
+		deadProb = 0.15
+		median = t.cfg.UploadMedian * 4
+	}
+	for _, peer := range t.cfg.Network.SampleContacts(t.rng, n) {
+		peer := peer
+		t.sim.After(simnet.UniformDur(t.rng, 0, 25*time.Second), func() {
+			if !t.inSession() {
+				return
+			}
+			ok := t.peerOnline(peer) && !simnet.Bernoulli(t.rng, deadProb)
+			req := simnet.LogNormalMedian(t.rng, 800, 0.5)
+			rsp := simnet.LogNormalMedian(t.rng, median, t.cfg.UploadSigma)
+			synth.EmitFlow(t.sim, synth.FlowSpec{
+				Src: t.cfg.Host, Dst: peer.Addr,
+				SrcPort: t.ports.Next(), DstPort: edonkeyPeerTCPPort, Proto: flow.TCP,
+				Duration: simnet.UniformDur(t.rng, 10*time.Second, 5*time.Minute),
+				ReqBytes: uint64(req), RspBytes: uint64(rsp),
+				Success: ok,
+				Payload: emuleTCPHello(),
+			})
+		})
+	}
+}
+
+// edonkeyServeLoop answers the queue: other clients dial in for the parts
+// this host shares (eDonkey's credit system keeps Traders uploading).
+func (t *Trader) edonkeyServeLoop() {
+	if !t.inSession() {
+		return
+	}
+	if simnet.Bernoulli(t.rng, 0.6) {
+		t.emitInbound(edonkeyPeerTCPPort, emuleTCPHello(), 800, t.cfg.UploadMedian)
+	}
+	t.sim.After(t.humanGap(12), t.edonkeyServeLoop)
+}

@@ -26,6 +26,11 @@ const (
 	Gnutella App = iota + 1
 	EMule
 	BitTorrent
+	// EDonkey is the server-mediated eDonkey client shape measured by the
+	// distributed-honeypot studies: index-server lookups instead of DHT
+	// walks, and a rare-file long tail in which most source fetches chase
+	// files with few (often offline) providers.
+	EDonkey
 )
 
 // String names the application.
@@ -37,6 +42,8 @@ func (a App) String() string {
 		return "emule"
 	case BitTorrent:
 		return "bittorrent"
+	case EDonkey:
+		return "edonkey"
 	default:
 		return fmt.Sprintf("app(%d)", int(a))
 	}
@@ -68,6 +75,12 @@ type Config struct {
 	// FailBias adds protocol-independent connection failure probability
 	// on top of peer churn.
 	FailBias float64
+	// Swarms is the number of torrents a BitTorrent Trader trades in
+	// concurrently (0 or 1 = the classic single-swarm client). Cross-swarm
+	// peers announce to one tracker per swarm and mix piece traffic from
+	// every swarm's peer set, the multi-torrent participation the
+	// BitTorrent measurement studies report.
+	Swarms int
 }
 
 // Validate checks the configuration.
@@ -75,8 +88,14 @@ func (c *Config) Validate() error {
 	if c.Host == 0 {
 		return fmt.Errorf("trader: host unset")
 	}
-	if c.App < Gnutella || c.App > BitTorrent {
+	if c.App < Gnutella || c.App > EDonkey {
 		return fmt.Errorf("trader: unknown app %d", c.App)
+	}
+	if c.Swarms < 0 {
+		return fmt.Errorf("trader: swarms must be non-negative, got %d", c.Swarms)
+	}
+	if c.Swarms > 1 && c.App != BitTorrent {
+		return fmt.Errorf("trader: cross-swarm participation requires BitTorrent, got %s", c.App)
 	}
 	if c.Network == nil {
 		return fmt.Errorf("trader: peer network unset")
@@ -187,6 +206,11 @@ func (t *Trader) beginSession() {
 		t.emuleConnect()
 	case BitTorrent:
 		t.bittorrentJoin()
+		if t.cfg.Swarms > 1 {
+			t.startExtraSwarms()
+		}
+	case EDonkey:
+		t.edonkeyConnect()
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 
 	"plotters/internal/argus"
 	"plotters/internal/baseline"
+	"plotters/internal/campaign"
 	"plotters/internal/checkpoint"
 	"plotters/internal/collector"
 	"plotters/internal/community"
@@ -361,6 +362,72 @@ func RequiredVolumeFactor(avgBytesPerFlow, threshold float64) float64 {
 func RequiredChurnFactor(newPeers, totalPeers int, target float64) float64 {
 	return evasion.RequiredChurnFactor(newPeers, totalPeers, target)
 }
+
+// PadFlows adds pad junk bytes to every successful flow — the additive
+// θ_vol evasion.
+func PadFlows(records []Record, pad uint64) []Record {
+	return evasion.PadFlows(records, pad)
+}
+
+// SlowStartContacts delays each (src, dst) pair's first contact — and
+// every later flow of the pair with it — by a per-pair uniform delay in
+// [0, d], rationing peer rendezvous to flatten the new-destination rate
+// θ_churn keys on.
+func SlowStartContacts(records []Record, d time.Duration, rng *rand.Rand) ([]Record, error) {
+	return evasion.SlowStartContacts(records, d, rng)
+}
+
+// Red-team campaigns: parameterized countermeasures composed over the
+// §VI evasion transforms, swept across synthetic worlds against the
+// detector ensemble, reported as a detection-rate-vs-evasion-cost
+// frontier. See DESIGN.md §6 and `cmd/experiments -campaign`.
+type (
+	// CampaignConfig parameterizes one campaign run.
+	CampaignConfig = campaign.Config
+	// CampaignReport is a campaign's full frontier outcome.
+	CampaignReport = campaign.Report
+	// CampaignWorldResult is one world's sweep outcome.
+	CampaignWorldResult = campaign.WorldResult
+	// CampaignFrontierPoint is one countermeasure × intensity grid point.
+	CampaignFrontierPoint = campaign.FrontierPoint
+	// CampaignScore is one detector's accumulated outcome at a point.
+	CampaignScore = campaign.Score
+	// Countermeasure is one parameterized bot-side evasion.
+	Countermeasure = campaign.Countermeasure
+	// CountermeasureCost is the machine-readable price of an evasion.
+	CountermeasureCost = campaign.Cost
+	// CountermeasureEnv is the world-derived countermeasure context.
+	CountermeasureEnv = campaign.Env
+	// CampaignScale sizes a campaign world's campus.
+	CampaignScale = campaign.Scale
+	// CampaignWorld is one named synthetic-world preset.
+	CampaignWorld = campaign.World
+)
+
+// Campaign world scales.
+const (
+	CampaignScaleTiny  = campaign.ScaleTiny
+	CampaignScaleSmall = campaign.ScaleSmall
+	CampaignScalePaper = campaign.ScalePaper
+)
+
+// DefaultCampaignConfig returns the standard sweep at the given seed.
+func DefaultCampaignConfig(seed int64) CampaignConfig { return campaign.DefaultConfig(seed) }
+
+// DefaultCountermeasures returns the §VI countermeasure set.
+func DefaultCountermeasures() []Countermeasure { return campaign.DefaultCountermeasures() }
+
+// CampaignWorldNames lists the synthetic-world presets.
+func CampaignWorldNames() []string { return campaign.WorldNames() }
+
+// NewCampaignWorld builds one world preset at the given scale.
+func NewCampaignWorld(name string, scale CampaignScale) (CampaignWorld, error) {
+	return campaign.NewWorld(name, scale)
+}
+
+// RunCampaign executes a red-team campaign and returns its frontier
+// report. The same configuration reproduces the same report bit for bit.
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.Run(cfg) }
 
 // Flow assembly from packet streams (the Argus substrate).
 type (
@@ -714,7 +781,7 @@ func OpenCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Read(p
 // N ShardWorker processes over disjoint host-hash slices) and a global
 // phase (population percentiles, EMD clustering, community graph, run
 // by one Coordinator over the merged ShardSummary frames). The split is
-// bit-identical to a single process: see DESIGN.md §6 and the
+// bit-identical to a single process: see DESIGN.md §5b and the
 // TestDistributedGolden equivalence suite.
 type (
 	// HostSummary is one host's complete shard-local reduction.
