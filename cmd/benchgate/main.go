@@ -5,7 +5,7 @@
 // code. CI runs both: benchstat for the humans reading the job summary,
 // benchgate for the red X.
 //
-// Two modes:
+// Three modes:
 //
 //	benchgate -old base.txt -new head.txt [-threshold 1.10]
 //	    Regression gate. For every benchmark name present in BOTH files,
@@ -21,6 +21,14 @@
 //	    (so `BenchmarkHMTest/n=1024/par-pruned` is compared against
 //	    `BenchmarkHMTest/n=1024/par`). Fails if faster > counterpart ×
 //	    threshold. Matches with no counterpart in the file are skipped.
+//
+//	benchgate -new head.txt -zero-allocs 'IngestPipeline'
+//	    Allocation gate within one file. Every benchmark whose name
+//	    matches the regexp must report exactly 0 allocs/op in every
+//	    repetition — the steady-state zero-allocation contract of the
+//	    ingest hot path. A matching benchmark that does not report
+//	    allocs/op at all (missing -benchmem / ReportAllocs) fails too:
+//	    an unmeasured contract is a broken gate, not a passing one.
 //
 // Benchmark names are normalized by stripping the trailing -GOMAXPROCS
 // suffix the testing package appends, so runs from machines with
@@ -49,6 +57,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9][0-9.eE+-]*) n
 
 // procSuffix is the -GOMAXPROCS tail appended to sub-benchmark names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// allocsField matches the allocs/op column -benchmem / ReportAllocs
+// appends to a result line.
+var allocsField = regexp.MustCompile(`\s(\d+) allocs/op`)
 
 // parseBench reads a -bench output file into name → minimum ns/op.
 func parseBench(path string) (map[string]float64, error) {
@@ -81,6 +93,47 @@ func parseBench(path string) (map[string]float64, error) {
 		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
 	}
 	return best, nil
+}
+
+// parseAllocs reads a -bench output file into name → maximum allocs/op
+// across repetitions (the maximum, because a single allocating rep
+// breaks a zero-allocation contract). Benchmarks that never report
+// allocs/op map to -1 so the gate can flag them as unmeasured.
+func parseAllocs(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	worst := make(map[string]int64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		allocs := int64(-1)
+		if am := allocsField.FindStringSubmatch(line); am != nil {
+			n, err := strconv.ParseInt(am[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad allocs/op %q: %v", path, am[1], err)
+			}
+			allocs = n
+		}
+		if cur, ok := worst[name]; !ok || allocs > cur {
+			worst[name] = allocs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(worst) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return worst, nil
 }
 
 func sortedNames(m map[string]float64) []string {
@@ -145,12 +198,40 @@ func gateFaster(b map[string]float64, faster *regexp.Regexp, than string, thresh
 	return failures, compared
 }
 
+// gateZeroAllocs enforces 0 allocs/op on every matching benchmark;
+// returns the number of failures and how many names matched.
+func gateZeroAllocs(allocs map[string]int64, match *regexp.Regexp) (failures, matched int) {
+	names := make([]string, 0, len(allocs))
+	for n := range allocs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !match.MatchString(name) {
+			continue
+		}
+		matched++
+		switch n := allocs[name]; {
+		case n < 0:
+			fmt.Printf("  FAIL   %-52s allocs/op not reported (missing -benchmem?)\n", name)
+			failures++
+		case n > 0:
+			fmt.Printf("  FAIL   %-52s %d allocs/op, want 0\n", name, n)
+			failures++
+		default:
+			fmt.Printf("  ok     %-52s 0 allocs/op\n", name)
+		}
+	}
+	return failures, matched
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline -bench output file (regression mode)")
 	newPath := flag.String("new", "", "candidate -bench output file (required)")
 	threshold := flag.Float64("threshold", 1.10, "fail when candidate ns/op exceeds reference × threshold")
 	faster := flag.String("faster", "", "regexp selecting benchmarks that must beat their counterpart (ordering mode)")
 	than := flag.String("than", "", "replacement template deriving the counterpart name from a -faster match")
+	zeroAllocs := flag.String("zero-allocs", "", "regexp selecting benchmarks that must report 0 allocs/op (allocation mode)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -160,27 +241,51 @@ func main() {
 	if *newPath == "" {
 		fail("-new is required")
 	}
-	if (*oldPath == "") == (*faster == "") {
-		fail("exactly one of -old (regression mode) or -faster/-than (ordering mode) must be set")
+	modes := 0
+	for _, set := range []bool{*oldPath != "", *faster != "", *zeroAllocs != ""} {
+		if set {
+			modes++
+		}
 	}
-
-	newB, err := parseBench(*newPath)
-	if err != nil {
-		fail("%v", err)
+	if modes != 1 {
+		fail("exactly one of -old (regression mode), -faster/-than (ordering mode), or -zero-allocs (allocation mode) must be set")
 	}
 
 	var failures int
 	switch {
 	case *oldPath != "":
+		newB, err := parseBench(*newPath)
+		if err != nil {
+			fail("%v", err)
+		}
 		oldB, err := parseBench(*oldPath)
 		if err != nil {
 			fail("%v", err)
 		}
 		fmt.Printf("benchgate: regression gate, threshold %.2fx (min over repetitions)\n", *threshold)
 		failures = gateRegression(oldB, newB, *threshold)
+	case *zeroAllocs != "":
+		re, err := regexp.Compile(*zeroAllocs)
+		if err != nil {
+			fail("bad -zero-allocs regexp: %v", err)
+		}
+		allocs, err := parseAllocs(*newPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("benchgate: allocation gate, %q must report 0 allocs/op (max over repetitions)\n", *zeroAllocs)
+		var matched int
+		failures, matched = gateZeroAllocs(allocs, re)
+		if matched == 0 {
+			fail("no benchmark matched -zero-allocs %q", *zeroAllocs)
+		}
 	default:
 		if *than == "" {
 			fail("-faster requires -than")
+		}
+		newB, err := parseBench(*newPath)
+		if err != nil {
+			fail("%v", err)
 		}
 		re, err := regexp.Compile(*faster)
 		if err != nil {

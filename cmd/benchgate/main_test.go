@@ -67,6 +67,63 @@ func TestGateRegression(t *testing.T) {
 	}
 }
 
+const allocsSample = `goos: linux
+BenchmarkIngestPipeline/proto=v5-4       	     100	       744 ns/op	1966.66 MB/s	  40300372 records/s	       0 B/op	       0 allocs/op
+BenchmarkIngestPipeline/proto=v5-4       	     100	       750 ns/op	1950.00 MB/s	  40100000 records/s	       0 B/op	       0 allocs/op
+BenchmarkIngestPipeline/proto=ipfix-4    	     100	      3716 ns/op	 441.38 MB/s	   8074044 records/s	       0 B/op	       0 allocs/op
+BenchmarkLeaky/alloc-4                   	     100	       500 ns/op	      48 B/op	       2 allocs/op
+BenchmarkHMTest/n=1024/par-4             	       1	103000000 ns/op	   5.1e+06 pairs/s
+PASS
+`
+
+// TestParseAllocs pins the allocation parsing the zero-allocs gate
+// relies on: repetitions collapse to the maximum, and benchmarks
+// without an allocs/op column map to -1 (unmeasured).
+func TestParseAllocs(t *testing.T) {
+	a, err := parseAllocs(writeBench(t, "allocs.txt", allocsSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"BenchmarkIngestPipeline/proto=v5":    0,
+		"BenchmarkIngestPipeline/proto=ipfix": 0,
+		"BenchmarkLeaky/alloc":                2,
+		"BenchmarkHMTest/n=1024/par":          -1,
+	}
+	if len(a) != len(want) {
+		t.Fatalf("parsed %d names, want %d: %v", len(a), len(want), a)
+	}
+	for name, n := range want {
+		if got := a[name]; got != n {
+			t.Errorf("%s = %d, want %d", name, got, n)
+		}
+	}
+}
+
+// TestGateZeroAllocs: zero-alloc benchmarks pass, an allocating one
+// fails, and an unmeasured one (no allocs/op column) fails too rather
+// than passing silently.
+func TestGateZeroAllocs(t *testing.T) {
+	allocs := map[string]int64{
+		"BenchmarkIngestPipeline/proto=v5":    0,
+		"BenchmarkIngestPipeline/proto=ipfix": 0,
+		"BenchmarkLeaky/alloc":                2,
+		"BenchmarkUnmeasured":                 -1,
+	}
+	failures, matched := gateZeroAllocs(allocs, regexp.MustCompile(`IngestPipeline`))
+	if matched != 2 || failures != 0 {
+		t.Errorf("IngestPipeline: failures=%d matched=%d, want 0/2", failures, matched)
+	}
+	failures, matched = gateZeroAllocs(allocs, regexp.MustCompile(`Leaky`))
+	if matched != 1 || failures != 1 {
+		t.Errorf("Leaky: failures=%d matched=%d, want 1/1", failures, matched)
+	}
+	failures, matched = gateZeroAllocs(allocs, regexp.MustCompile(`Unmeasured`))
+	if matched != 1 || failures != 1 {
+		t.Errorf("Unmeasured: failures=%d matched=%d, want 1/1", failures, matched)
+	}
+}
+
 // TestGateFaster: the pruned variant must beat its exhaustive
 // counterpart; a pruned bench with no counterpart is skipped, not
 // failed.

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	experiments [-fig N[,N...]|all] [-days N] [-seed S] [-scale small|paper] [-hm-prune [-hm-cut D]] [-metrics FILE]
+//	experiments -sampling [-fig none] [-days N] [-seed S] [-scale small|paper]
 //	experiments -campaign [-fig none] [-campaign-worlds W[,W...]] [-campaign-grid P[,P...]] [-campaign-out FILE]
+//
+// With -sampling, the ingest subsystem's deterministic 1-in-N flow
+// sampler sweeps rates 1, 1/4, 1/16, and 1/64 over every evaluation
+// day and prints precision/recall per rate — the measured detection
+// cost of running the collector sampled (see EXPERIMENTS.md).
 //
 // With -campaign, the red-team campaign runner sweeps bot-side
 // countermeasures (timer jitter, churn mimicry, volume padding, slow
@@ -60,6 +66,7 @@ func run() error {
 		voteK     = flag.Int("vote-k", 0, "k for the ensemble k-of-n vote combiner (0 = majority)")
 		commIDF   = flag.Bool("community-idf", false, "weight community-graph edges by destination rarity (IDF) instead of raw shared-contact counts")
 		fanin     = flag.Bool("fanin-sweep", false, "sweep the community graph's MinSharedContacts × MaxFanIn grid and print the ROC table (use -fig none to run the sweep alone)")
+		sampling  = flag.Bool("sampling", false, "sweep the ingest stage's deterministic 1-in-N flow sampling (N = 1,4,16,64) and print precision/recall per rate (use -fig none to run the sweep alone)")
 		camp      = flag.Bool("campaign", false, "run the red-team campaign: sweep countermeasures × synthetic worlds against the detector ensemble and print the evasion-cost frontier (use -fig none to run the campaign alone)")
 		campWorld = flag.String("campaign-worlds", "all", "comma-separated campaign world presets, or 'all'")
 		campGrid  = flag.String("campaign-grid", "0.25,0.5,1", "comma-separated ascending countermeasure intensities in (0,1]")
@@ -77,7 +84,7 @@ func run() error {
 			return fmt.Errorf("campaign: %w", err)
 		}
 		// -fig none -campaign runs the campaign alone.
-		if len(want) == 0 && !*baselines && !*fanin {
+		if len(want) == 0 && !*baselines && !*fanin && !*sampling {
 			return nil
 		}
 	}
@@ -158,6 +165,12 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "sweeping community-graph fan-in grid...")
 		if err := printFanInSweep(suite, *commIDF); err != nil {
 			return fmt.Errorf("fan-in sweep: %w", err)
+		}
+	}
+	if *sampling {
+		fmt.Fprintln(os.Stderr, "sweeping flow-sampling rates...")
+		if err := printSamplingSweep(suite, uint64(*seed)); err != nil {
+			return fmt.Errorf("sampling sweep: %w", err)
 		}
 	}
 	if reg != nil {
@@ -337,6 +350,27 @@ func printFanInSweep(s *plotters.Suite, idf bool) error {
 			p.MinSharedContacts, fanIn, p.Edges,
 			p.Rates.TP, p.Rates.FP, p.Rates.TPR(), p.Rates.FPR(),
 			p.Rates.Precision(), p.Rates.Recall())
+	}
+	fmt.Println()
+	return nil
+}
+
+// printSamplingSweep measures detection quality under the ingest
+// subsystem's deterministic 1-in-N flow sampling, one row per rate,
+// rates accumulated across all suite days against the full-rate host
+// set (hosts whose every flow was sampled away count as misses).
+func printSamplingSweep(s *plotters.Suite, seed uint64) error {
+	points, err := s.SamplingSweep([]uint64{1, 4, 16, 64}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Flow-sampling sweep: detection vs. ingest sampling rate (seed-stable 1-in-N sampler)")
+	fmt.Println("# rate\tkept\tTP\tFP\tprecision\trecall\tstormRecall\tnugacheRecall")
+	for _, p := range points {
+		fmt.Printf("1/%d\t%.4f\t%d\t%d\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			p.N, p.KeptFraction(), p.Overall.TP, p.Overall.FP,
+			p.Overall.Precision(), p.Overall.Recall(),
+			p.Storm.Recall(), p.Nugache.Recall())
 	}
 	fmt.Println()
 	return nil

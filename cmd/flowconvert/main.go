@@ -1,13 +1,14 @@
 // Command flowconvert converts a flow trace between the binary, CSV,
-// JSON Lines, and NetFlow v5 packet-stream formats, streaming record by
-// record so traces larger than memory convert fine.
+// JSON Lines, and export packet-stream formats (NetFlow v5, IPFIX,
+// sFlow v5), streaming record by record so traces larger than memory
+// convert fine.
 //
-// The netflow format is the wire format real exporters emit: a
-// concatenation of valid v5 export packets (≤30 records each), readable
-// back here and replayable over UDP with flowreplay. It is lossy —
-// timestamps floor to the millisecond, responder-side packet/byte
-// counters and payload bytes are dropped — but carries everything the
-// detection pipeline reads.
+// The packet-stream formats are the wire formats real exporters emit:
+// concatenations of valid export datagrams, readable back here and
+// replayable over UDP with flowreplay. All three are lossy — timestamps
+// floor to the millisecond and payload bytes are dropped (netflow
+// additionally drops responder-side counters) — but each carries
+// everything the detection pipeline reads.
 //
 // Usage:
 //
@@ -32,8 +33,8 @@ func main() {
 
 func run() error {
 	var (
-		from = flag.String("from", "binary", "input format: binary, csv, jsonl, or netflow")
-		to   = flag.String("to", "csv", "output format: binary, csv, jsonl, or netflow")
+		from = flag.String("from", "binary", "input format: binary, csv, jsonl, netflow, ipfix, or sflow")
+		to   = flag.String("to", "csv", "output format: binary, csv, jsonl, netflow, ipfix, or sflow")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {

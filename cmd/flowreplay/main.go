@@ -1,19 +1,23 @@
-// Command flowreplay replays a stored flow trace as live NetFlow v5
-// export datagrams — a software exporter for exercising plotfind
-// -listen (or any NetFlow collector) without router hardware.
+// Command flowreplay replays a stored flow trace as live flow-export
+// datagrams — a software exporter for exercising plotfind -listen (or
+// any flow collector) without router hardware.
 //
-// Records are read in trace order, packed into valid v5 export packets
-// (up to -batch records each), and sent over UDP. With -speedup N the
-// inter-packet gaps follow the records' start times compressed N-fold
-// (1 = faithful real time); -speedup 0 blasts the trace as fast as the
-// socket accepts, which is how you load-test a collector's bounded
-// queue. The exporter sequence numbers are continuous, so a collector's
+// Records are read in trace order, packed into valid export packets
+// (up to -batch records each), and sent over UDP. -emit selects the
+// wire protocol: NetFlow v5 (default), IPFIX, or sFlow v5, so the same
+// trace can drive every decoder the collector registers. With
+// -speedup N the inter-packet gaps follow the records' start times
+// compressed N-fold (1 = faithful real time); -speedup 0 blasts the
+// trace as fast as the socket accepts, which is how you load-test a
+// collector's bounded queue. The exporter sequence numbers are
+// continuous — cumulative records for v5/IPFIX, a datagram counter for
+// sFlow, each protocol's native semantics — so a collector's
 // sequence-gap counters measure exactly what the network (or its own
 // drops) lost in transit.
 //
 // Usage:
 //
-//	flowreplay -to 127.0.0.1:2055 [-format binary|csv|jsonl|netflow] [-speedup N] [-batch N] TRACE
+//	flowreplay -to 127.0.0.1:2055 [-emit v5|ipfix|sflow] [-format binary|csv|jsonl|netflow|ipfix|sflow] [-speedup N] [-batch N] TRACE
 package main
 
 import (
@@ -41,7 +45,8 @@ func main() {
 func run() error {
 	var (
 		to      = flag.String("to", "", "UDP address of the collector, e.g. 127.0.0.1:2055 (required)")
-		format  = flag.String("format", "binary", "trace format: binary, csv, jsonl, or netflow")
+		emit    = flag.String("emit", "v5", "export protocol for outgoing datagrams: v5, ipfix, or sflow")
+		format  = flag.String("format", "binary", "trace format: binary, csv, jsonl, netflow, ipfix, or sflow")
 		speedup = flag.Float64("speedup", 0, "pace packets by record start times compressed this many times (1 = real time, 0 = no pacing)")
 		batch   = flag.Int("batch", 30, "records per export packet (1-30)")
 	)
@@ -52,6 +57,9 @@ func run() error {
 	}
 	if *to == "" {
 		return fmt.Errorf("-to is required")
+	}
+	if *emit != "v5" && *emit != "ipfix" && *emit != "sflow" {
+		return fmt.Errorf("-emit must be v5, ipfix, or sflow (got %q)", *emit)
 	}
 	if *batch < 1 || *batch > 30 {
 		return fmt.Errorf("-batch must be between 1 and 30 (v5 packets hold at most 30 records)")
@@ -106,14 +114,25 @@ func run() error {
 			}
 		}
 		var err error
-		pkt, err = plotters.AppendNetFlowV5(pkt[:0], pending, seq)
+		switch *emit {
+		case "ipfix":
+			pkt, err = plotters.AppendIPFIX(pkt[:0], pending, seq)
+		case "sflow":
+			pkt, err = plotters.AppendSFlow(pkt[:0], pending, seq)
+		default:
+			pkt, err = plotters.AppendNetFlowV5(pkt[:0], pending, seq)
+		}
 		if err != nil {
 			return err
 		}
 		if _, err := conn.Write(pkt); err != nil {
 			return err
 		}
-		seq += uint32(len(pending))
+		if *emit == "sflow" {
+			seq++ // sFlow sequences count datagrams, not records
+		} else {
+			seq += uint32(len(pending))
+		}
 		packets++
 		records += len(pending)
 		sent += int64(len(pkt))

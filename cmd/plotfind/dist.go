@@ -20,7 +20,7 @@ import (
 // -peers. The worker filters to hosts hashing to this shard, so every
 // shard process can read the same full trace (or a pre-split one) and
 // the deployment still computes exactly once per host.
-func runDistShard(path, format string, reg *plotters.Metrics, cfg plotters.EngineConfig, shard, shards int, peer string, drainTimeout time.Duration) (int, error) {
+func runDistShard(path, format string, reg *plotters.Metrics, cfg plotters.EngineConfig, sampler plotters.FlowSampler, shard, shards int, peer string, drainTimeout time.Duration) (int, error) {
 	worker, err := plotters.NewShardWorker(plotters.ShardWorkerConfig{
 		Shard:  shard,
 		Shards: shards,
@@ -53,6 +53,11 @@ func runDistShard(path, format string, reg *plotters.Metrics, cfg plotters.Engin
 		}
 		if err != nil {
 			return n, err
+		}
+		// Content-hash sampling: every shard drops the same flow set, so
+		// a sampled distributed run equals the sampled single-process run.
+		if !sampler.Keep(&rec) {
+			continue
 		}
 		n++
 		if rec.Start.After(last) {

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	plotfind [-format binary|csv|jsonl|netflow] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
+//	plotfind [-format binary|csv|jsonl|netflow|ipfix|sflow] [-internal CIDR[,CIDR]] [-metrics FILE] [-v] TRACE
 //	plotfind -hm-prune [-hm-cut D] ... TRACE
+//	plotfind -sample 16 [-sample-seed S] ... TRACE
 //	plotfind -window 6h [-slide 1h] [-shards N] [-skew 5m] ... TRACE
-//	plotfind -listen :2055 -window 6h [-skew 5m] [-state-dir DIR [-checkpoint-every 5m]] ...
+//	plotfind -listen :2055 -window 6h [-ingest-batch 32] [-sample N] [-skew 5m] [-state-dir DIR [-checkpoint-every 5m]] ...
 //	plotfind -role coordinator -peers :7055 -dist-shards 2 -window 6h -origin TIME ...
 //	plotfind -role shard -shard 0 -dist-shards 2 -peers host:7055 -window 6h -origin TIME ... TRACE
 //
@@ -28,13 +29,23 @@
 // for out-of-order feeds.
 //
 // With -listen, there is no trace file at all: plotfind binds a UDP
-// socket, decodes NetFlow v5/v9 export packets from live exporters, and
-// feeds them straight into the windowed engine (-window is required).
+// socket, decodes NetFlow v5/v9, IPFIX, and sFlow v5 export packets
+// from live exporters, and feeds them straight into the windowed
+// engine (-window is required). Datagrams are pulled in recvmmsg
+// batches of -ingest-batch through the zero-allocation ingest ring.
 // Records beyond the -skew tolerance are counted and dropped, never
 // fatal — a live socket cannot re-request the past. Stop with Ctrl-C
 // (SIGINT/SIGTERM): the collector drains its queue, the final partial
 // window is flushed (marked [partial]), and the summary (plus the
 // -metrics report, if requested) is written on the way out.
+//
+// With -sample N, a deterministic content-hash sampler keeps 1 flow in
+// N before detection — in every mode: batch, windowed, live (where it
+// runs inside the collector, before the WAL), and distributed (where
+// every shard drops the same flow set). The kept subset depends only on
+// record content and -sample-seed, never on stream order, so sampled
+// runs are exactly reproducible; -sample 1 is bit-identical to no
+// sampler at all.
 //
 // With -role, detection runs distributed across processes. Each -role
 // shard process streams a trace through the pipeline's shard-local
@@ -108,6 +119,9 @@ func run() error {
 		shards    = flag.Int("shards", 0, "feature-store shard count for -window mode (0 = one per CPU)")
 		skew      = flag.Duration("skew", 0, "out-of-order tolerance for -window mode (records later than this are dropped)")
 		listen    = flag.String("listen", "", "UDP address to collect live NetFlow exports on (e.g. :2055) instead of reading a trace; requires -window")
+		sampleN   = flag.Uint64("sample", 1, "deterministic 1-in-N flow sampling before detection (1 = keep everything); the keep set depends only on record content and -sample-seed")
+		sampleKey = flag.Uint64("sample-seed", 0, "seed for -sample's content fingerprint (same seed + same N = same kept flows)")
+		inBatch   = flag.Int("ingest-batch", 0, "datagrams per recvmmsg batch on the -listen socket (0 = default, 1 = plain reads)")
 		stateDir  = flag.String("state-dir", "", "directory for crash-safe durable state (snapshot + write-ahead log); requires -listen. On start, any state found there is recovered")
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval for -state-dir")
 		walSync   = flag.Int("wal-sync-every", 256, "fsync the write-ahead log every N records (1 = every record: survives power loss, but gates ingest on fsync latency)")
@@ -143,6 +157,14 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("expected exactly one trace file argument")
 	}
+
+	if *inBatch < 0 {
+		return fmt.Errorf("-ingest-batch must be >= 0")
+	}
+	if *inBatch != 0 && *listen == "" {
+		return fmt.Errorf("-ingest-batch requires -listen (it sizes the socket's recvmmsg batch)")
+	}
+	sampler := plotters.FlowSampler{N: *sampleN, Seed: *sampleKey}
 
 	var reg *plotters.Metrics
 	if *metricsTo != "" {
@@ -211,7 +233,7 @@ func run() error {
 				WindowTimeout: *distWait,
 			}, *verbose)
 		}
-		n, err := runDistShard(flag.Arg(0), *format, reg, engCfg, *shardIdx, *distN, *peers, *drainWait)
+		n, err := runDistShard(flag.Arg(0), *format, reg, engCfg, sampler, *shardIdx, *distN, *peers, *drainWait)
 		if err != nil {
 			return err
 		}
@@ -245,10 +267,10 @@ func run() error {
 		if *listen != "" {
 			source, srcFormat = *listen, "netflow-udp"
 			engCfg.StateDir = *stateDir
-			n, ckpt, err = runListen(*listen, reg, engCfg, *ckptEvery, *walSync, *verbose)
+			n, ckpt, err = runListen(*listen, reg, engCfg, sampler, *inBatch, *ckptEvery, *walSync, *verbose)
 		} else {
 			source, srcFormat = flag.Arg(0), *format
-			n, err = runWindowed(source, srcFormat, reg, engCfg, *verbose)
+			n, err = runWindowed(source, srcFormat, reg, engCfg, sampler, *verbose)
 		}
 		if err != nil {
 			return err
@@ -265,11 +287,16 @@ func run() error {
 		return fmt.Errorf("-slide, -shards, and -skew require -window")
 	}
 
-	records, err := readTrace(flag.Arg(0), *format, reg)
+	records, sampledOut, err := readTrace(flag.Arg(0), *format, reg, sampler)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %d flow records from %s\n", len(records), flag.Arg(0))
+	if sampler.Enabled() {
+		fmt.Printf("loaded %d flow records from %s (1-in-%d sampling dropped %d)\n",
+			len(records), flag.Arg(0), sampler.N, sampledOut)
+	} else {
+		fmt.Printf("loaded %d flow records from %s\n", len(records), flag.Arg(0))
+	}
 
 	res, err := plotters.FindPlotters(records, internal, cfg)
 	if err != nil {
@@ -435,7 +462,7 @@ func runBatchEnsemble(dets []plotters.Detector, res *plotters.Result, records []
 // runWindowed streams the trace through the continuous detection engine,
 // printing one summary per sealed window, and returns the record count.
 // The trace is read record by record — it never sits in memory.
-func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.EngineConfig, verbose bool) (int, error) {
+func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.EngineConfig, sampler plotters.FlowSampler, verbose bool) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -452,7 +479,7 @@ func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.Engine
 		return 0, err
 	}
 
-	n, dropped := 0, 0
+	n, dropped, sampledOut := 0, 0, 0
 	for {
 		rec, err := tr.Next()
 		if errors.Is(err, io.EOF) {
@@ -460,6 +487,10 @@ func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.Engine
 		}
 		if err != nil {
 			return n, err
+		}
+		if !sampler.Keep(&rec) {
+			sampledOut++
+			continue
 		}
 		n++
 		if err := eng.Add(&rec); err != nil {
@@ -476,6 +507,9 @@ func runWindowed(path, format string, reg *plotters.Metrics, cfg plotters.Engine
 	fmt.Printf("\n%d records, %d windows detected", n, eng.Windows())
 	if dropped > 0 {
 		fmt.Printf(", %d records dropped beyond the %v skew tolerance", dropped, cfg.MaxSkew)
+	}
+	if sampledOut > 0 {
+		fmt.Printf(", %d records sampled out (1-in-%d)", sampledOut, sampler.N)
 	}
 	fmt.Println()
 	return n, nil
@@ -537,7 +571,7 @@ func windowPrinter(verbose bool) func(*plotters.WindowResult) error {
 // recovered: the snapshot is restored and the WAL tail replayed, so
 // detection resumes exactly where it stopped. Graceful shutdown ends
 // with a final checkpoint, so a clean restart replays nothing.
-func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ckptEvery time.Duration, walSync int, verbose bool) (int, *checkpointReport, error) {
+func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, sampler plotters.FlowSampler, inBatch int, ckptEvery time.Duration, walSync int, verbose bool) (int, *checkpointReport, error) {
 	cfg.DropLate = true
 	eng, err := plotters.NewWindowedDetector(cfg, windowPrinter(verbose))
 	if err != nil {
@@ -567,9 +601,12 @@ func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ck
 	}
 
 	col, err := plotters.ListenNetFlow(plotters.CollectorConfig{
-		Addr:    addr,
-		Workers: 1,
-		Metrics: reg,
+		Addr:       addr,
+		Workers:    1,
+		Batch:      inBatch,
+		SampleN:    sampler.N,
+		SampleSeed: sampler.Seed,
+		Metrics:    reg,
 		Handler: func(records []plotters.Record) {
 			if ingestErr != nil {
 				return
@@ -620,7 +657,7 @@ func runListen(addr string, reg *plotters.Metrics, cfg plotters.EngineConfig, ck
 	} else {
 		close(ckptErr)
 	}
-	fmt.Fprintf(os.Stderr, "listening for NetFlow v5/v9 on %s (Ctrl-C to stop)\n", col.Addr())
+	fmt.Fprintf(os.Stderr, "listening for NetFlow v5/v9, IPFIX, and sFlow on %s (Ctrl-C to stop)\n", col.Addr())
 
 	if err := col.Run(ctx); err != nil {
 		return n, nil, err
@@ -750,25 +787,30 @@ func parseSubnets(csv string) (func(plotters.IP) bool, error) {
 	}, nil
 }
 
-func readTrace(path, format string, reg *plotters.Metrics) ([]plotters.Record, error) {
+func readTrace(path, format string, reg *plotters.Metrics, sampler plotters.FlowSampler) ([]plotters.Record, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	tr, err := plotters.NewTraceReader(f, format)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	plotters.MeterTraceReader(tr, reg)
 	var records []plotters.Record
+	sampledOut := 0
 	for {
 		rec, err := tr.Next()
 		if errors.Is(err, io.EOF) {
-			return records, nil
+			return records, sampledOut, nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, sampledOut, err
+		}
+		if !sampler.Keep(&rec) {
+			sampledOut++
+			continue
 		}
 		records = append(records, rec)
 	}

@@ -56,7 +56,7 @@ func TestReadTraceFormats(t *testing.T) {
 		}
 		f.Close()
 		reg := plotters.NewMetrics()
-		got, err := readTrace(path, tc.format, reg)
+		got, _, err := readTrace(path, tc.format, reg, plotters.FlowSampler{})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.format, err)
 		}
@@ -68,10 +68,10 @@ func TestReadTraceFormats(t *testing.T) {
 			t.Errorf("%s: records counter = %d, want 1", tc.format, n)
 		}
 	}
-	if _, err := readTrace(filepath.Join(dir, "trace.binary"), "bogus", nil); err == nil {
+	if _, _, err := readTrace(filepath.Join(dir, "trace.binary"), "bogus", nil, plotters.FlowSampler{}); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if _, err := readTrace(filepath.Join(dir, "missing"), "binary", nil); err == nil {
+	if _, _, err := readTrace(filepath.Join(dir, "missing"), "binary", nil, plotters.FlowSampler{}); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,117 @@
+package collector
+
+import "testing"
+
+// storeTemplate learns a minimal one-field template via the public v9
+// decode path so the test exercises the same store the wire does.
+func storeTemplate(t *testing.T, tc *TemplateCache, exporter string, id uint16) {
+	t.Helper()
+	pkt := v9Packet(1000, 1194253200, 1, 0,
+		flowSet(0, templateBody(id, [2]uint16{fieldSrcPort, 2})))
+	if _, _, _, err := tc.DecodeV9(exporter, pkt, nil); err != nil {
+		t.Fatalf("learn template %d: %v", id, err)
+	}
+}
+
+// hasTemplate probes the cache by replaying a data FlowSet for id.
+func hasTemplate(t *testing.T, tc *TemplateCache, exporter string, id uint16) bool {
+	t.Helper()
+	pkt := v9Packet(1000, 1194253200, 2, 0, flowSet(id, []byte{0x1F, 0x90}))
+	_, recs, stats, err := tc.DecodeV9(exporter, pkt, nil)
+	if err != nil {
+		t.Fatalf("probe template %d: %v", id, err)
+	}
+	return stats.MissingTemplate == 0 && len(recs) == 1
+}
+
+func TestTemplateCacheEviction(t *testing.T) {
+	tc := NewTemplateCacheLimit(3)
+	const exp = "10.0.0.1:2055"
+	for id := uint16(300); id < 303; id++ {
+		storeTemplate(t, tc, exp, id)
+	}
+	if tc.Templates() != 3 || tc.Evicted() != 0 {
+		t.Fatalf("at cap: %d templates, %d evicted", tc.Templates(), tc.Evicted())
+	}
+
+	// Touch 300 and 302 so 301 is the least recently used, then
+	// overflow: 301 must be the victim.
+	hasTemplate(t, tc, exp, 300)
+	hasTemplate(t, tc, exp, 302)
+	storeTemplate(t, tc, exp, 303)
+	if tc.Templates() != 3 {
+		t.Fatalf("cache grew past its cap: %d templates", tc.Templates())
+	}
+	if tc.Evicted() != 1 {
+		t.Fatalf("eviction counter = %d, want 1", tc.Evicted())
+	}
+	if hasTemplate(t, tc, exp, 301) {
+		t.Error("LRU template 301 survived the eviction")
+	}
+	for _, id := range []uint16{300, 302, 303} {
+		if !hasTemplate(t, tc, exp, id) {
+			t.Errorf("recently-used template %d was evicted", id)
+		}
+	}
+
+	// Re-announcing a cached template refreshes in place: no eviction,
+	// no growth.
+	storeTemplate(t, tc, exp, 303)
+	if tc.Templates() != 3 || tc.Evicted() != 1 {
+		t.Fatalf("refresh changed the cache: %d templates, %d evicted", tc.Templates(), tc.Evicted())
+	}
+}
+
+// TestTemplateCacheEvictionIsPerExporter pins the isolation property:
+// one exporter overflowing its cap cannot displace another's templates.
+func TestTemplateCacheEvictionIsPerExporter(t *testing.T) {
+	tc := NewTemplateCacheLimit(2)
+	storeTemplate(t, tc, "victim:2055", 300)
+	for id := uint16(400); id < 410; id++ {
+		storeTemplate(t, tc, "noisy:2055", id)
+	}
+	if !hasTemplate(t, tc, "victim:2055", 300) {
+		t.Fatal("noisy exporter evicted the victim exporter's template")
+	}
+	if tc.Templates() != 3 { // victim's 1 + noisy's capped 2
+		t.Fatalf("cache holds %d templates, want 3", tc.Templates())
+	}
+	if got := tc.Evicted(); got != 8 {
+		t.Fatalf("evicted = %d, want 8", got)
+	}
+	// The noisy exporter keeps its most recent announcements.
+	for _, id := range []uint16{408, 409} {
+		if !hasTemplate(t, tc, "noisy:2055", id) {
+			t.Errorf("noisy exporter's recent template %d missing", id)
+		}
+	}
+}
+
+// TestTemplateCacheSharedWithIPFIX checks the bound also covers IPFIX
+// template sets, which share the cache and key space.
+func TestTemplateCacheSharedWithIPFIX(t *testing.T) {
+	tc := NewTemplateCacheLimit(1)
+	recs := sampleRecords()[:1]
+	pkt, err := AppendIPFIX(nil, recs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tc.DecodeIPFIX("10.0.0.1:4739", pkt, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A v9 template from the same exporter string and source 0 collides
+	// with the IPFIX domain-0 space and displaces it.
+	storeTemplate(t, tc, "10.0.0.1:4739", 999)
+	if tc.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", tc.Evicted())
+	}
+	_, _, stats, err := tc.DecodeIPFIX("10.0.0.1:4739", pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The message is self-describing, so the template is relearned (and
+	// the v9 one evicted in turn) before the data set decodes.
+	if stats.Records != 1 || stats.TemplatesEvicted != 1 {
+		t.Fatalf("stats = %+v, want 1 record + 1 eviction", stats)
+	}
+}

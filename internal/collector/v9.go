@@ -60,6 +60,9 @@ type V9Stats struct {
 	// SkippedSets counts FlowSets ignored by design (options
 	// templates and options data).
 	SkippedSets int
+	// TemplatesEvicted counts cached templates displaced by the
+	// per-exporter LRU bound while learning this packet's templates.
+	TemplatesEvicted int
 }
 
 // v9Field is one template field: an IANA type and a wire length.
@@ -74,6 +77,11 @@ type v9Template struct {
 	recLen  int
 	hasFlag bool // template carries TCP_FLAGS
 	hasOut  bool // template carries OUT_PKTS
+	hasVar  bool // IPFIX only: has variable-length fields (length -1)
+	// lastUsed is the cache's logical clock at the template's most
+	// recent store or lookup; the eviction victim is the minimum.
+	// Guarded by TemplateCache.mu.
+	lastUsed uint64
 }
 
 // v9TemplateKey scopes a template to its announcing exporter stream.
@@ -83,17 +91,45 @@ type v9TemplateKey struct {
 	id       uint16
 }
 
-// TemplateCache holds NetFlow v9 templates across packets, keyed by
-// (exporter, source ID, template ID). Safe for concurrent use — decode
-// workers share one cache.
+// DefaultTemplateLimit is the per-exporter template cap applied by
+// NewTemplateCache. Real exporters announce a handful of templates;
+// thousands from one source address is either a misconfiguration or an
+// exhaustion attack, and either way the cache must stay bounded.
+const DefaultTemplateLimit = 4096
+
+// TemplateCache holds NetFlow v9 and IPFIX templates across packets,
+// keyed by (exporter, source ID, template ID). The cache is bounded:
+// each exporter address may hold at most limit templates, and storing
+// past the cap evicts that exporter's least-recently-used entry (use =
+// store or data-set lookup) rather than growing — one noisy or hostile
+// exporter cannot displace another's templates or exhaust collector
+// memory. Safe for concurrent use — decode workers share one cache.
 type TemplateCache struct {
-	mu sync.Mutex
-	m  map[v9TemplateKey]*v9Template
+	mu      sync.Mutex
+	m       map[v9TemplateKey]*v9Template
+	counts  map[string]int // live templates per exporter
+	limit   int
+	clock   uint64 // logical recency clock, ticks on store/lookup
+	evicted uint64
 }
 
-// NewTemplateCache returns an empty cache.
+// NewTemplateCache returns an empty cache holding at most
+// DefaultTemplateLimit templates per exporter.
 func NewTemplateCache() *TemplateCache {
-	return &TemplateCache{m: make(map[v9TemplateKey]*v9Template)}
+	return NewTemplateCacheLimit(DefaultTemplateLimit)
+}
+
+// NewTemplateCacheLimit returns an empty cache capped at limit
+// templates per exporter; limit <= 0 means DefaultTemplateLimit.
+func NewTemplateCacheLimit(limit int) *TemplateCache {
+	if limit <= 0 {
+		limit = DefaultTemplateLimit
+	}
+	return &TemplateCache{
+		m:      make(map[v9TemplateKey]*v9Template),
+		counts: make(map[string]int),
+		limit:  limit,
+	}
 }
 
 // Templates returns how many templates are cached.
@@ -103,16 +139,71 @@ func (tc *TemplateCache) Templates() int {
 	return len(tc.m)
 }
 
-func (tc *TemplateCache) store(key v9TemplateKey, t *v9Template) {
+// Evicted returns how many templates the per-exporter bound has
+// displaced since the cache was created.
+func (tc *TemplateCache) Evicted() uint64 {
 	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.evicted
+}
+
+// store caches t under key, evicting the key's exporter's
+// least-recently-used template first when the exporter is at its cap.
+// Returns how many templates were evicted (0 or 1).
+func (tc *TemplateCache) store(key v9TemplateKey, t *v9Template) int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.clock++
+	t.lastUsed = tc.clock
+	if _, ok := tc.m[key]; ok {
+		tc.m[key] = t // refresh in place: count unchanged
+		return 0
+	}
+	evictions := 0
+	if tc.counts[key.exporter] >= tc.limit {
+		tc.evictLRU(key.exporter)
+		evictions = 1
+	}
 	tc.m[key] = t
-	tc.mu.Unlock()
+	tc.counts[key.exporter]++
+	return evictions
+}
+
+// evictLRU removes exporter's least-recently-used template. Called with
+// tc.mu held. The scan is linear in the cache size, but runs only when
+// an exporter overflows its cap — never on the steady-state decode path.
+func (tc *TemplateCache) evictLRU(exporter string) {
+	var victim v9TemplateKey
+	var oldest uint64
+	found := false
+	for k, t := range tc.m {
+		if k.exporter != exporter {
+			continue
+		}
+		if !found || t.lastUsed < oldest {
+			victim, oldest, found = k, t.lastUsed, true
+		}
+	}
+	if !found {
+		return // cap > 0 with a zero count: nothing to displace
+	}
+	delete(tc.m, victim)
+	tc.counts[exporter]--
+	if tc.counts[exporter] == 0 {
+		delete(tc.counts, exporter)
+	}
+	tc.evicted++
 }
 
 func (tc *TemplateCache) lookup(key v9TemplateKey) *v9Template {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	return tc.m[key]
+	t := tc.m[key]
+	if t != nil {
+		tc.clock++
+		t.lastUsed = tc.clock
+	}
+	return t
 }
 
 // DecodeV9 decodes one NetFlow v9 packet from exporter, learning any
@@ -148,8 +239,9 @@ func (tc *TemplateCache) DecodeV9(exporter string, pkt []byte, dst []flow.Record
 		body := pkt[off+4 : off+setLen]
 		switch {
 		case setID == 0: // template FlowSet
-			n, err := tc.learnTemplates(exporter, hdr.SourceID, body)
+			n, ev, err := tc.learnTemplates(exporter, hdr.SourceID, body)
 			stats.TemplatesLearned += n
+			stats.TemplatesEvicted += ev
 			if err != nil {
 				return hdr, dst, stats, err
 			}
@@ -175,26 +267,27 @@ func (tc *TemplateCache) DecodeV9(exporter string, pkt []byte, dst []flow.Record
 }
 
 // learnTemplates parses one template FlowSet body: a sequence of
-// (template ID, field count, fields...) definitions.
-func (tc *TemplateCache) learnTemplates(exporter string, sourceID uint32, body []byte) (int, error) {
+// (template ID, field count, fields...) definitions. Returns templates
+// learned and cache entries the per-exporter bound evicted.
+func (tc *TemplateCache) learnTemplates(exporter string, sourceID uint32, body []byte) (int, int, error) {
 	be := binary.BigEndian
-	learned := 0
+	learned, evictions := 0, 0
 	for len(body) >= 4 {
 		id := be.Uint16(body)
 		fieldCount := int(be.Uint16(body[2:]))
 		body = body[4:]
 		if id < 256 {
-			return learned, fmt.Errorf("%w: template ID %d is reserved", ErrCorrupt, id)
+			return learned, evictions, fmt.Errorf("%w: template ID %d is reserved", ErrCorrupt, id)
 		}
 		if len(body) < fieldCount*4 {
-			return learned, fmt.Errorf("%w: template %d declares %d fields with %d bytes left", ErrCorrupt, id, fieldCount, len(body))
+			return learned, evictions, fmt.Errorf("%w: template %d declares %d fields with %d bytes left", ErrCorrupt, id, fieldCount, len(body))
 		}
 		t := &v9Template{fields: make([]v9Field, 0, fieldCount)}
 		for i := 0; i < fieldCount; i++ {
 			typ := be.Uint16(body[i*4:])
 			length := int(be.Uint16(body[i*4+2:]))
 			if length == 0 {
-				return learned, fmt.Errorf("%w: template %d field %d has zero length", ErrCorrupt, id, typ)
+				return learned, evictions, fmt.Errorf("%w: template %d field %d has zero length", ErrCorrupt, id, typ)
 			}
 			t.fields = append(t.fields, v9Field{typ: typ, length: length})
 			t.recLen += length
@@ -207,12 +300,12 @@ func (tc *TemplateCache) learnTemplates(exporter string, sourceID uint32, body [
 		}
 		body = body[fieldCount*4:]
 		if t.recLen == 0 {
-			return learned, fmt.Errorf("%w: template %d has no fields", ErrCorrupt, id)
+			return learned, evictions, fmt.Errorf("%w: template %d has no fields", ErrCorrupt, id)
 		}
-		tc.store(v9TemplateKey{exporter, sourceID, id}, t)
+		evictions += tc.store(v9TemplateKey{exporter, sourceID, id}, t)
 		learned++
 	}
-	return learned, nil
+	return learned, evictions, nil
 }
 
 // decodeRecords cracks a data FlowSet body against the template,

@@ -1,0 +1,101 @@
+package collector
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"plotters/internal/flow"
+	"plotters/internal/ingest"
+)
+
+// The ingest subsystem's hard steady-state contract: once an arena's
+// slab has ratcheted to the packet size and (for IPFIX) templates are
+// learned, the per-datagram loop every decode worker runs — decode,
+// sample, arena reset — performs ZERO heap allocations, for every wire
+// protocol. BenchmarkIngestPipeline (repo root) reports the same
+// number per iteration; this test fails the build the moment an
+// allocation sneaks in.
+func TestIngestSteadyStateZeroAlloc(t *testing.T) {
+	records := sampleRecords()
+	v5pkt, err := AppendV5(nil, records, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipfixFull, err := AppendIPFIX(nil, records, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state for IPFIX is data-only messages: template sets
+	// allocate when learned, and real exporters refresh them rarely,
+	// not per datagram.
+	be := binary.BigEndian
+	ipfixData := append([]byte(nil), ipfixFull[:ipfixHeaderSize]...)
+	for off := ipfixHeaderSize; off+4 <= len(ipfixFull); {
+		setID := be.Uint16(ipfixFull[off:])
+		setLen := int(be.Uint16(ipfixFull[off+2:]))
+		if setID >= ipfixTemplateID {
+			ipfixData = append(ipfixData, ipfixFull[off:off+setLen]...)
+		}
+		off += setLen
+	}
+	be.PutUint16(ipfixData[2:], uint16(len(ipfixData)))
+	sflowPkt, err := AppendSFlow(nil, records, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival := records[0].Start
+
+	tc := NewTemplateCache()
+	if _, _, _, err := tc.DecodeIPFIX("zero", ipfixFull, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tcase := range []struct {
+		name   string
+		decode func(dst []flow.Record) ([]flow.Record, error)
+	}{
+		{"v5", func(dst []flow.Record) ([]flow.Record, error) {
+			_, recs, err := DecodeV5(v5pkt, dst)
+			return recs, err
+		}},
+		{"ipfix", func(dst []flow.Record) ([]flow.Record, error) {
+			_, recs, _, err := tc.DecodeIPFIX("zero", ipfixData, dst)
+			return recs, err
+		}},
+		{"sflow", func(dst []flow.Record) ([]flow.Record, error) {
+			_, recs, _, err := DecodeSFlow(sflowPkt, arrival, dst)
+			return recs, err
+		}},
+	} {
+		t.Run(tcase.name, func(t *testing.T) {
+			var arena ingest.RecordArena
+			sampler := ingest.Sampler{N: 4, Seed: 7}
+			// Warm-up: ratchet the slab and verify the decode works at all.
+			recs, err := tcase.decode(arena.Take())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != len(records) {
+				t.Fatalf("decoded %d records, want %d", len(recs), len(records))
+			}
+			arena.Reset(recs)
+
+			var decodeErr error
+			allocs := testing.AllocsPerRun(100, func() {
+				recs, err := tcase.decode(arena.Take())
+				if err != nil {
+					decodeErr = err
+					return
+				}
+				_ = sampler.Filter(recs)
+				arena.Reset(recs)
+			})
+			if decodeErr != nil {
+				t.Fatal(decodeErr)
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state ingest loop allocates %.1f times per packet, want 0", allocs)
+			}
+		})
+	}
+}

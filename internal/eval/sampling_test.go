@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestSamplingSweep(t *testing.T) {
+	_, suite := corpus(t)
+	points, err := suite.SamplingSweep([]uint64{1, 4, 16}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+
+	// The N=1 row must be the unsampled pipeline verbatim: same records,
+	// same rates as scoring the cached detection directly.
+	base := points[0]
+	if base.Records != base.TotalRecords {
+		t.Errorf("unsampled row dropped records: %d of %d", base.Records, base.TotalRecords)
+	}
+	var want Rates
+	for i := 0; i < suite.Days(); i++ {
+		de, err := suite.Day(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := de.Detect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Add(Score(res.Suspects, de.Analysis.Hosts(), de.Plotters()))
+	}
+	if base.Overall != want {
+		t.Errorf("unsampled sweep row = %+v, want cached detection %+v", base.Overall, want)
+	}
+
+	// Sampled rows: the measured kept fraction tracks 1/N (binomial
+	// bounds, wide), denominators stay pinned to the full-rate host set,
+	// and the whole sweep is a pure function of (rates, seed).
+	for _, p := range points[1:] {
+		nominal := 1 / float64(p.N)
+		if f := p.KeptFraction(); f < nominal/2 || f > nominal*2 {
+			t.Errorf("1-in-%d kept fraction = %.4f, want within [%.4f, %.4f]", p.N, f, nominal/2, nominal*2)
+		}
+		if p.Records >= p.TotalRecords {
+			t.Errorf("1-in-%d dropped nothing (%d of %d)", p.N, p.Records, p.TotalRecords)
+		}
+		if p.Overall.Plotters != base.Overall.Plotters || p.Overall.Others != base.Overall.Others {
+			t.Errorf("1-in-%d denominators (%d plotters, %d others) drifted from baseline (%d, %d)",
+				p.N, p.Overall.Plotters, p.Overall.Others, base.Overall.Plotters, base.Overall.Others)
+		}
+	}
+
+	again, err := suite.SamplingSweep([]uint64{1, 4, 16}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range points {
+		if points[j] != again[j] {
+			t.Errorf("sweep not deterministic at rate %d: %+v vs %+v", points[j].N, points[j], again[j])
+		}
+	}
+}

@@ -102,6 +102,45 @@ type Record struct {
 // Failed reports whether the connection attempt failed.
 func (r *Record) Failed() bool { return r.State == StateFailed }
 
+// Fingerprint returns a 64-bit content hash of the record under the
+// given seed: a pure function of the record's identifying fields (the
+// 5-tuple, timestamps, counters, and state — everything except Payload)
+// and nothing else. Two equal records fingerprint identically no matter
+// which process, stream position, or shard observes them, which is what
+// makes hash-based flow sampling seq-stable: any split or merge of a
+// stream keeps exactly the same records.
+//
+// The mix is FNV-1a over the field bytes followed by a SplitMix64
+// finalizer, so single-bit field changes avalanche across the output.
+func (r *Record) Fingerprint(seed uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ seed
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(r.Src)<<32 | uint64(r.Dst))
+	mix(uint64(r.SrcPort)<<48 | uint64(r.DstPort)<<32 | uint64(r.Proto)<<24 | uint64(r.State)<<16)
+	mix(uint64(r.Start.UnixNano()))
+	mix(uint64(r.End.UnixNano()))
+	mix(r.SrcBytes)
+	mix(r.DstBytes)
+	mix(uint64(r.SrcPkts)<<32 | uint64(r.DstPkts))
+	// SplitMix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // Duration returns the flow's wall-clock length.
 func (r *Record) Duration() time.Duration { return r.End.Sub(r.Start) }
 

@@ -1,0 +1,314 @@
+// The "ipfix" and "sflow" trace formats: concatenated wire datagrams,
+// exactly like "netflow" but over the other two export protocols the
+// collector decodes. Both writers keep the one-Write-per-packet
+// contract, so handing them a net.Conn replays a trace as live
+// exporter datagrams, and both readers walk the native framing — the
+// IPFIX message header declares its total length, and an sFlow
+// datagram's length falls out of walking its sample headers — so no
+// extra container wraps the stream.
+
+package flowio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"plotters/internal/collector"
+	"plotters/internal/flow"
+	"plotters/internal/metrics"
+)
+
+// exportBatch is the records-per-packet cap shared by the IPFIX and
+// sFlow writers, matching the v5 packet cap so all three trace formats
+// chunk a stream identically.
+const exportBatch = collector.V5MaxRecords
+
+// IPFIXWriter packs records into self-describing IPFIX messages
+// (template set + data set, see collector.AppendIPFIX), up to 30 per
+// message, one underlying Write per message. Unlike v5, the mapping
+// keeps bidirectional counters and 64-bit byte counts; only
+// sub-millisecond time is lost. The header sequence number carries
+// IPFIX's cumulative-record semantics across the writer's lifetime.
+type IPFIXWriter struct {
+	w     io.Writer
+	batch []flow.Record
+	pkt   []byte
+	seq   uint32
+}
+
+// NewIPFIXWriter wraps w.
+func NewIPFIXWriter(w io.Writer) *IPFIXWriter {
+	return &IPFIXWriter{w: w, batch: make([]flow.Record, 0, exportBatch)}
+}
+
+// Write buffers one record, emitting a message when a full one is
+// ready.
+func (iw *IPFIXWriter) Write(r *flow.Record) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("flowio: refusing to encode invalid record: %w", err)
+	}
+	iw.batch = append(iw.batch, *r)
+	if len(iw.batch) == exportBatch {
+		return iw.emit()
+	}
+	return nil
+}
+
+// Flush emits any partial message. An empty trace writes nothing.
+func (iw *IPFIXWriter) Flush() error {
+	if len(iw.batch) == 0 {
+		return nil
+	}
+	return iw.emit()
+}
+
+func (iw *IPFIXWriter) emit() error {
+	pkt, err := collector.AppendIPFIX(iw.pkt[:0], iw.batch, iw.seq)
+	if err != nil {
+		return fmt.Errorf("flowio: encoding IPFIX message: %w", err)
+	}
+	iw.pkt = pkt
+	if _, err := iw.w.Write(pkt); err != nil {
+		return fmt.Errorf("flowio: writing IPFIX message: %w", err)
+	}
+	iw.seq += uint32(len(iw.batch))
+	iw.batch = iw.batch[:0]
+	return nil
+}
+
+// IPFIXReader streams records from a concatenation of IPFIX messages.
+// Messages self-frame via the header length field. Template state is
+// kept across messages, so foreign traces that announce templates once
+// up front decode too; data sets whose template never appears are
+// skipped, mirroring collector behavior.
+type IPFIXReader struct {
+	src       *countReader
+	r         *bufio.Reader
+	pkt       []byte
+	pending   []flow.Record
+	idx       int
+	packets   int
+	templates *collector.TemplateCache
+	records   *metrics.Counter
+}
+
+// NewIPFIXReader wraps r.
+func NewIPFIXReader(r io.Reader) *IPFIXReader {
+	src := &countReader{r: r}
+	return &IPFIXReader{
+		src:       src,
+		r:         bufio.NewReaderSize(src, 1<<16),
+		templates: collector.NewTemplateCache(),
+	}
+}
+
+// Next returns the next record, or io.EOF at end of trace.
+func (ir *IPFIXReader) Next() (flow.Record, error) {
+	for ir.idx == len(ir.pending) {
+		if err := ir.readMessage(); err != nil {
+			return flow.Record{}, err
+		}
+	}
+	rec := ir.pending[ir.idx]
+	ir.idx++
+	ir.records.Add(1)
+	return rec, nil
+}
+
+func (ir *IPFIXReader) readMessage() error {
+	var hdr [4]byte // version + length is all the framing needs
+	if _, err := io.ReadFull(ir.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF // clean message boundary
+		}
+		return fmt.Errorf("flowio: IPFIX trace truncated mid-header (message %d): %w", ir.packets, err)
+	}
+	if v := binary.BigEndian.Uint16(hdr[:]); v != 10 {
+		return fmt.Errorf("flowio: IPFIX trace message %d has version %d, want 10", ir.packets, v)
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:]))
+	if length < 16 {
+		return fmt.Errorf("flowio: IPFIX trace message %d declares %d bytes", ir.packets, length)
+	}
+	if cap(ir.pkt) < length {
+		ir.pkt = make([]byte, length)
+	}
+	ir.pkt = ir.pkt[:length]
+	copy(ir.pkt, hdr[:])
+	if _, err := io.ReadFull(ir.r, ir.pkt[4:]); err != nil {
+		return fmt.Errorf("flowio: IPFIX trace truncated mid-message (message %d, %d bytes): %w", ir.packets, length, err)
+	}
+	var err error
+	_, ir.pending, _, err = ir.templates.DecodeIPFIX("trace", ir.pkt, ir.pending[:0])
+	ir.idx = 0
+	if err != nil {
+		return fmt.Errorf("flowio: IPFIX trace message %d: %w", ir.packets, err)
+	}
+	ir.packets++
+	return nil
+}
+
+// SFlowWriter packs records into sFlow v5 datagrams — one flow sample
+// per record carrying the raw synthesized packet header plus the
+// software-exporter extension (see collector.AppendSFlow) — up to 30
+// per datagram, one underlying Write per datagram. The extension makes
+// the trace lossless to the millisecond; a foreign sFlow collector
+// ignores it and still reads the sampled headers.
+type SFlowWriter struct {
+	w     io.Writer
+	batch []flow.Record
+	pkt   []byte
+	seq   uint32
+}
+
+// NewSFlowWriter wraps w.
+func NewSFlowWriter(w io.Writer) *SFlowWriter {
+	return &SFlowWriter{w: w, batch: make([]flow.Record, 0, exportBatch)}
+}
+
+// Write buffers one record, emitting a datagram when a full one is
+// ready.
+func (sw *SFlowWriter) Write(r *flow.Record) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("flowio: refusing to encode invalid record: %w", err)
+	}
+	sw.batch = append(sw.batch, *r)
+	if len(sw.batch) == exportBatch {
+		return sw.emit()
+	}
+	return nil
+}
+
+// Flush emits any partial datagram. An empty trace writes nothing.
+func (sw *SFlowWriter) Flush() error {
+	if len(sw.batch) == 0 {
+		return nil
+	}
+	return sw.emit()
+}
+
+func (sw *SFlowWriter) emit() error {
+	pkt, err := collector.AppendSFlow(sw.pkt[:0], sw.batch, sw.seq)
+	if err != nil {
+		return fmt.Errorf("flowio: encoding sFlow datagram: %w", err)
+	}
+	sw.pkt = pkt
+	if _, err := sw.w.Write(pkt); err != nil {
+		return fmt.Errorf("flowio: writing sFlow datagram: %w", err)
+	}
+	sw.seq++
+	sw.batch = sw.batch[:0]
+	return nil
+}
+
+// SFlowReader streams records from a concatenation of sFlow v5
+// datagrams. sFlow has no datagram-length field, but the format is
+// still self-framing one level down: the reader walks the fixed header
+// and then each sample's (type, length) pair to reassemble exactly one
+// datagram, which then decodes as if it had arrived on the socket.
+// Records reconstructed from raw packet headers alone (no extension
+// record) carry zero timestamps — the format has no clock to offer a
+// file reader.
+type SFlowReader struct {
+	src     *countReader
+	r       *bufio.Reader
+	pkt     []byte
+	pending []flow.Record
+	idx     int
+	packets int
+	records *metrics.Counter
+}
+
+// NewSFlowReader wraps r.
+func NewSFlowReader(r io.Reader) *SFlowReader {
+	src := &countReader{r: r}
+	return &SFlowReader{src: src, r: bufio.NewReaderSize(src, 1<<16)}
+}
+
+// Next returns the next record, or io.EOF at end of trace.
+func (sr *SFlowReader) Next() (flow.Record, error) {
+	for sr.idx == len(sr.pending) {
+		if err := sr.readDatagram(); err != nil {
+			return flow.Record{}, err
+		}
+	}
+	rec := sr.pending[sr.idx]
+	sr.idx++
+	sr.records.Add(1)
+	return rec, nil
+}
+
+// readDatagram reassembles one datagram by walking its native framing.
+func (sr *SFlowReader) readDatagram() error {
+	be := binary.BigEndian
+	// Version + agent address type tell us the fixed header size.
+	pkt, err := sr.frame(nil, 8)
+	if errors.Is(err, io.EOF) && len(pkt) == 0 {
+		return io.EOF // clean datagram boundary
+	}
+	if err != nil {
+		return fmt.Errorf("flowio: sFlow trace truncated mid-header (datagram %d): %w", sr.packets, err)
+	}
+	if v := be.Uint32(pkt); v != 5 {
+		return fmt.Errorf("flowio: sFlow trace datagram %d has version %d, want 5", sr.packets, v)
+	}
+	addrLen := 0
+	switch be.Uint32(pkt[4:]) {
+	case 1:
+		addrLen = 4
+	case 2:
+		addrLen = 16
+	default:
+		return fmt.Errorf("flowio: sFlow trace datagram %d has agent address type %d", sr.packets, be.Uint32(pkt[4:]))
+	}
+	// Agent address + sub-agent, sequence, uptime, sample count.
+	if pkt, err = sr.frame(pkt, addrLen+16); err != nil {
+		return fmt.Errorf("flowio: sFlow trace truncated mid-header (datagram %d): %w", sr.packets, err)
+	}
+	nsamples := int(be.Uint32(pkt[len(pkt)-4:]))
+	for s := 0; s < nsamples; s++ {
+		if pkt, err = sr.frame(pkt, 8); err != nil {
+			return fmt.Errorf("flowio: sFlow trace truncated at sample %d (datagram %d): %w", s, sr.packets, err)
+		}
+		sampleLen := int(be.Uint32(pkt[len(pkt)-4:]))
+		if sampleLen < 0 || sampleLen > 1<<20 {
+			return fmt.Errorf("flowio: sFlow trace datagram %d sample %d claims %d bytes", sr.packets, s, sampleLen)
+		}
+		if pkt, err = sr.frame(pkt, sampleLen); err != nil {
+			return fmt.Errorf("flowio: sFlow trace truncated in sample %d (datagram %d): %w", s, sr.packets, err)
+		}
+	}
+	sr.pkt = pkt
+
+	_, sr.pending, _, err = collector.DecodeSFlow(pkt, time.Time{}, sr.pending[:0])
+	sr.idx = 0
+	if err != nil {
+		return fmt.Errorf("flowio: sFlow trace datagram %d: %w", sr.packets, err)
+	}
+	sr.packets++
+	return nil
+}
+
+// frame appends the next n bytes of the stream to pkt, reusing the
+// reader's scratch buffer.
+func (sr *SFlowReader) frame(pkt []byte, n int) ([]byte, error) {
+	if pkt == nil {
+		pkt = sr.pkt[:0]
+	}
+	off := len(pkt)
+	if cap(pkt) < off+n {
+		grown := make([]byte, off, max(off+n, 2*cap(pkt)))
+		copy(grown, pkt)
+		pkt = grown
+	}
+	pkt = pkt[:off+n]
+	if _, err := io.ReadFull(sr.r, pkt[off:]); err != nil {
+		sr.pkt = pkt[:off]
+		return pkt[:off], err
+	}
+	return pkt, nil
+}

@@ -1,0 +1,234 @@
+package flowio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+// exportSample returns records inside the IPFIX/sFlow trace formats'
+// carrying capacity: both keep bidirectional counters and millisecond
+// times (unlike v5) but neither carries payload.
+func exportSample() []flow.Record {
+	records := sampleRecords()
+	for i := range records {
+		records[i].Payload = nil
+	}
+	return records
+}
+
+// spreadRecords clones base out to n records with shifted times, enough
+// to cross the 30-records-per-packet boundary a few times.
+func spreadRecords(base []flow.Record, n int) []flow.Record {
+	var records []flow.Record
+	for i := 0; len(records) < n; i++ {
+		r := base[i%len(base)]
+		r.Start = r.Start.Add(time.Duration(i) * time.Second)
+		r.End = r.End.Add(time.Duration(i) * time.Second)
+		records = append(records, r)
+	}
+	return records
+}
+
+// readAll drains a Reader — the ReadAll* convenience wrappers only
+// exist for the older formats.
+func readAll(r Reader) ([]flow.Record, error) {
+	var records []flow.Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return records, nil
+		}
+		if err != nil {
+			return records, err
+		}
+		records = append(records, rec)
+	}
+}
+
+func TestIPFIXTraceRoundTrip(t *testing.T) {
+	records := spreadRecords(exportSample(), 70)
+	var buf bytes.Buffer
+	w := NewIPFIXWriter(&buf)
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(NewIPFIXReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Errorf("round trip mismatch:\ngot  %v\nwant %v", got, records)
+	}
+}
+
+func TestSFlowTraceRoundTrip(t *testing.T) {
+	records := spreadRecords(exportSample(), 70)
+	var buf bytes.Buffer
+	w := NewSFlowWriter(&buf)
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(NewSFlowReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Errorf("round trip mismatch:\ngot  %v\nwant %v", got, records)
+	}
+}
+
+// Both export formats drop payload and keep everything else, including
+// the responder-side counters v5 loses.
+func TestExportTraceLossyFields(t *testing.T) {
+	records := sampleRecords()
+	records[0].Start = records[0].Start.Add(123 * time.Microsecond)
+	want := exportSample()
+	for _, tc := range []struct {
+		name string
+		w    func(io.Writer) Writer
+		r    func(io.Reader) Reader
+	}{
+		{"ipfix", func(w io.Writer) Writer { return NewIPFIXWriter(w) }, func(r io.Reader) Reader { return NewIPFIXReader(r) }},
+		{"sflow", func(w io.Writer) Writer { return NewSFlowWriter(w) }, func(r io.Reader) Reader { return NewSFlowReader(r) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w := tc.w(&buf)
+			for i := range records {
+				if err := w.Write(&records[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := readAll(tc.r(bytes.NewReader(buf.Bytes())))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("lossy decode mismatch:\ngot  %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+func TestExportTraceEmpty(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    Writer
+		r    func(io.Reader) Reader
+	}{
+		{"ipfix", NewIPFIXWriter(&bytes.Buffer{}), func(r io.Reader) Reader { return NewIPFIXReader(r) }},
+		{"sflow", NewSFlowWriter(&bytes.Buffer{}), func(r io.Reader) Reader { return NewSFlowReader(r) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := readAll(tc.r(bytes.NewReader(nil)))
+			if err != nil || len(got) != 0 {
+				t.Errorf("empty trace = %v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestIPFIXTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewIPFIXWriter(&buf)
+	records := exportSample()
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{buf.Len() - 3, 10, 2} { // mid-message, mid-body, mid-header
+		_, err := readAll(NewIPFIXReader(bytes.NewReader(buf.Bytes()[:cut])))
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("trace cut at %d decoded cleanly (err = %v)", cut, err)
+		}
+	}
+}
+
+func TestSFlowTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSFlowWriter(&buf)
+	records := exportSample()
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{buf.Len() - 3, 40, 3} { // mid-sample, mid-header-tail, mid-version
+		_, err := readAll(NewSFlowReader(bytes.NewReader(buf.Bytes()[:cut])))
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("trace cut at %d decoded cleanly (err = %v)", cut, err)
+		}
+	}
+}
+
+// One underlying Write per packet: handing the writer a net.Conn must
+// replay the trace as real datagrams.
+func TestExportTraceOneWritePerPacket(t *testing.T) {
+	records := spreadRecords(exportSample(), 35) // one full packet + one partial
+	for _, tc := range []struct {
+		name string
+		w    func(io.Writer) Writer
+	}{
+		{"ipfix", func(w io.Writer) Writer { return NewIPFIXWriter(w) }},
+		{"sflow", func(w io.Writer) Writer { return NewSFlowWriter(w) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var cw countingWriter
+			w := tc.w(&cw)
+			for i := range records {
+				if err := w.Write(&records[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if cw.writes != 1 {
+				t.Errorf("writes before Flush = %d, want 1", cw.writes)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if cw.writes != 2 {
+				t.Errorf("writes after Flush = %d, want 2", cw.writes)
+			}
+		})
+	}
+}
+
+func TestExportTraceRejectsInvalidRecord(t *testing.T) {
+	bad := exportSample()[0]
+	bad.End = bad.Start.Add(-time.Hour)
+	if err := NewIPFIXWriter(&bytes.Buffer{}).Write(&bad); err == nil {
+		t.Error("invalid record accepted by IPFIX writer")
+	}
+	if err := NewSFlowWriter(&bytes.Buffer{}).Write(&bad); err == nil {
+		t.Error("invalid record accepted by sFlow writer")
+	}
+}

@@ -51,6 +51,20 @@ func (nr *NetFlowReader) Meter(reg *metrics.Registry) {
 	nr.src.bytes = reg.Counter("flowio/netflow/bytes")
 }
 
+// Meter attaches reg's "flowio/ipfix/records" and "flowio/ipfix/bytes"
+// counters to the reader.
+func (ir *IPFIXReader) Meter(reg *metrics.Registry) {
+	ir.records = reg.Counter("flowio/ipfix/records")
+	ir.src.bytes = reg.Counter("flowio/ipfix/bytes")
+}
+
+// Meter attaches reg's "flowio/sflow/records" and "flowio/sflow/bytes"
+// counters to the reader.
+func (sr *SFlowReader) Meter(reg *metrics.Registry) {
+	sr.records = reg.Counter("flowio/sflow/records")
+	sr.src.bytes = reg.Counter("flowio/sflow/bytes")
+}
+
 // MeterReader attaches reg to r when r is one of this package's codec
 // readers (a caller holding only the Reader interface can instrument
 // without a type switch of its own). Unknown Reader implementations are
@@ -64,6 +78,10 @@ func MeterReader(r Reader, reg *metrics.Registry) Reader {
 	case *JSONLReader:
 		tr.Meter(reg)
 	case *NetFlowReader:
+		tr.Meter(reg)
+	case *IPFIXReader:
+		tr.Meter(reg)
+	case *SFlowReader:
 		tr.Meter(reg)
 	}
 	return r

@@ -31,10 +31,14 @@ var (
 	_ Reader = (*CSVReader)(nil)
 	_ Reader = (*JSONLReader)(nil)
 	_ Reader = (*NetFlowReader)(nil)
+	_ Reader = (*IPFIXReader)(nil)
+	_ Reader = (*SFlowReader)(nil)
 	_ Writer = (*BinaryWriter)(nil)
 	_ Writer = (*CSVWriter)(nil)
 	_ Writer = (*JSONLWriter)(nil)
 	_ Writer = (*NetFlowWriter)(nil)
+	_ Writer = (*IPFIXWriter)(nil)
+	_ Writer = (*SFlowWriter)(nil)
 )
 
 // CSVReader streams records from CSV.

@@ -1,0 +1,32 @@
+package ingest
+
+import "plotters/internal/flow"
+
+// RecordArena is a grow-only scratch slab for decoded flow records.
+// Decoders append into the slice returned by Take; when the batch has
+// been handed to the extractor, Reset reclaims the memory for the next
+// packet. Capacity ratchets up to the largest batch ever decoded and is
+// never released, so once the high-water mark is reached the decode
+// path appends without allocating.
+//
+// Not safe for concurrent use: each decode worker owns one arena.
+type RecordArena struct {
+	buf []flow.Record
+}
+
+// Take returns the arena's empty scratch slice, ready to append into.
+func (a *RecordArena) Take() []flow.Record {
+	return a.buf[:0]
+}
+
+// Reset absorbs the (possibly grown) slice back into the arena and
+// clears record payloads so pooled memory never pins packet data.
+func (a *RecordArena) Reset(recs []flow.Record) {
+	for i := range recs {
+		recs[i].Payload = nil
+	}
+	a.buf = recs[:0]
+}
+
+// Cap returns the arena's current capacity in records.
+func (a *RecordArena) Cap() int { return cap(a.buf) }

@@ -1,0 +1,55 @@
+package ingest
+
+import (
+	"net"
+)
+
+// BatchReader receives datagrams from a socket into caller-provided
+// ring buffers, as many per call as the platform allows. ReadBatch
+// fills up to len(bufs) buffers — Data re-sliced to each datagram's
+// length, Exporter interned — and returns how many arrived. It blocks
+// until at least one datagram is available or the socket closes (the
+// error is net.ErrClosed-wrapped then, like a plain read).
+type BatchReader interface {
+	ReadBatch(bufs []*Buf) (int, error)
+}
+
+// NewBatchReader returns the best BatchReader for the platform: with
+// batch > 1 on Linux, a recvmmsg(2) reader that drains up to batch
+// datagrams per system call; otherwise (other platforms, batch ≤ 1, or
+// a socket that exposes no raw fd) the portable one-datagram fallback.
+// The returned reader never allocates per packet at steady state.
+func NewBatchReader(conn *net.UDPConn, batch int) BatchReader {
+	if batch > 1 {
+		if br := newMMsgReader(conn, batch); br != nil {
+			return br
+		}
+	}
+	return &singleReader{conn: conn, intern: NewInterner()}
+}
+
+// singleReader is the portable fallback: one datagram per call through
+// the net runtime. ReadFromUDPAddrPort returns the peer as a value-type
+// netip.AddrPort, so with the interner the loop is allocation-free.
+type singleReader struct {
+	conn   *net.UDPConn
+	intern *Interner
+}
+
+// ReadBatch fills bufs[0] with the next datagram.
+func (r *singleReader) ReadBatch(bufs []*Buf) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	b := bufs[0]
+	n, from, err := r.conn.ReadFromUDPAddrPort(b.Data)
+	if err != nil {
+		return 0, err
+	}
+	// A datagram longer than the buffer is silently cut by the runtime
+	// here; the decoder's structural length checks catch it. Only the
+	// recvmmsg path gets the kernel's explicit MSG_TRUNC signal.
+	b.Data = b.Data[:n]
+	b.Exporter = r.intern.Intern(from)
+	return 1, nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package ingest
+
+import "net"
+
+// newMMsgReader is the non-Linux stub: recvmmsg(2) is Linux-only, so
+// NewBatchReader always falls back to the portable single-datagram
+// reader here.
+func newMMsgReader(conn *net.UDPConn, batch int) BatchReader {
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package ingest is the line-rate front half of the live collection
+// path: everything between the UDP socket and the feature extractor
+// that must run allocation-free at steady state for the collector to
+// keep up with a border router's export stream (~1M+ records/s on one
+// box, the ROADMAP's north star).
+//
+// It owns four mechanisms, composed by internal/collector:
+//
+//   - Ring: a fixed free-list of reusable packet buffers. Datagrams are
+//     received into ring buffers, queued to the decode pool, and
+//     returned after decode — the buffer population is bounded and
+//     allocated once, so a traffic burst recycles memory instead of
+//     growing it, and exhaustion is an explicit counted drop rather
+//     than an allocation storm.
+//
+//   - BatchReader: the batched receive loop. On Linux, NewBatchReader
+//     drains up to a configurable batch of datagrams per recvmmsg(2)
+//     system call (raw syscall against the connection's pollable fd —
+//     no cgo, no extra modules), amortizing syscall overhead across
+//     the batch; everywhere else, or with batch ≤ 1, a portable
+//     ReadFromUDPAddrPort loop provides identical semantics one
+//     datagram at a time. Exporter source addresses are interned
+//     (Interner), so the steady-state receive path performs zero
+//     allocations per packet.
+//
+//   - RecordArena: a grow-only scratch slab of flow.Records reused
+//     across decodes. Decoders append into an arena-backed slice;
+//     after the handler returns, the arena is reset and the memory
+//     reused. At steady state (capacity high-water reached) the decode
+//     path allocates nothing per record.
+//
+//   - Sampler: a deterministic, hash-seeded 1-in-N flow-sampling
+//     stage. The keep decision is a pure function of the record's
+//     content fingerprint and the seed (flow.Record.Fingerprint), so
+//     the same seed keeps exactly the same flow set no matter how the
+//     stream is split, merged, reordered, or sharded — the property
+//     that keeps sampled detection reproducible and lets the eval
+//     suite measure exactly what sampling costs the detectors.
+//
+// The zero-allocation contract is verified, not aspirational: the
+// pipeline benchmark (BenchmarkIngestPipeline) and the steady-state
+// allocation test assert 0 allocs/op on the decode → sample → extract
+// hot path, and CI gates on them.
+package ingest

@@ -1,0 +1,328 @@
+package ingest
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"plotters/internal/flow"
+)
+
+func TestRingLifecycle(t *testing.T) {
+	r := NewRing(3, 64)
+	if r.Size() != 3 || r.BufCap() != 64 || r.Idle() != 3 {
+		t.Fatalf("fresh ring: size=%d cap=%d idle=%d", r.Size(), r.BufCap(), r.Idle())
+	}
+	var bufs []*Buf
+	for i := 0; i < 3; i++ {
+		b, ok := r.Get()
+		if !ok {
+			t.Fatalf("Get %d failed with buffers idle", i)
+		}
+		if len(b.Data) != 64 {
+			t.Fatalf("Get returned %d-byte buffer, want full 64", len(b.Data))
+		}
+		bufs = append(bufs, b)
+	}
+	if _, ok := r.Get(); ok {
+		t.Fatal("Get succeeded on an exhausted ring")
+	}
+	if r.Idle() != 0 {
+		t.Fatalf("exhausted ring reports %d idle", r.Idle())
+	}
+
+	// A used buffer comes back from Get fully reset.
+	bufs[0].Data = bufs[0].Data[:5]
+	bufs[0].Exporter = "10.0.0.1:2055"
+	bufs[0].Truncated = true
+	r.Put(bufs[0])
+	b, ok := r.Get()
+	if !ok {
+		t.Fatal("Get failed after Put")
+	}
+	if len(b.Data) != 64 || b.Exporter != "" || b.Truncated {
+		t.Fatalf("recycled buffer not reset: len=%d exporter=%q trunc=%v",
+			len(b.Data), b.Exporter, b.Truncated)
+	}
+
+	// Returning more buffers than the ring owns is a lifecycle bug.
+	for _, b := range bufs {
+		r.Put(b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity Put did not panic")
+		}
+	}()
+	r.Put(&Buf{Data: make([]byte, 64)})
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := netip.MustParseAddrPort("192.0.2.7:2055")
+	s1 := in.Intern(a)
+	s2 := in.Intern(a)
+	if s1 != a.String() {
+		t.Fatalf("Intern = %q, want %q", s1, a.String())
+	}
+	if s1 != s2 {
+		t.Fatalf("repeated Intern disagreed: %q vs %q", s1, s2)
+	}
+	in.Intern(netip.MustParseAddrPort("[2001:db8::1]:9999"))
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d after two distinct addresses", in.Len())
+	}
+}
+
+// newLoopbackPair binds a UDP listener on localhost and a connected
+// sender aimed at it.
+func newLoopbackPair(t *testing.T) (*net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { recv.Close() })
+	send, err := net.DialUDP("udp", nil, recv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { send.Close() })
+	return recv, send
+}
+
+// collectDatagrams reads until want datagrams arrive (or the deadline),
+// exercising the reader with a full ring's worth of buffers per call.
+func collectDatagrams(t *testing.T, br BatchReader, ring *Ring, want int) []*Buf {
+	t.Helper()
+	var out []*Buf
+	deadline := time.Now().Add(5 * time.Second)
+	for len(out) < want && time.Now().Before(deadline) {
+		var bufs []*Buf
+		for {
+			b, ok := ring.Get()
+			if !ok {
+				break
+			}
+			bufs = append(bufs, b)
+		}
+		if len(bufs) == 0 {
+			t.Fatal("ring exhausted before all datagrams arrived")
+		}
+		n, err := br.ReadBatch(bufs)
+		if err != nil {
+			t.Fatalf("ReadBatch: %v", err)
+		}
+		out = append(out, bufs[:n]...)
+		for _, b := range bufs[n:] {
+			ring.Put(b)
+		}
+	}
+	if len(out) != want {
+		t.Fatalf("received %d datagrams, want %d", len(out), want)
+	}
+	return out
+}
+
+func testReaderLoopback(t *testing.T, batch int) {
+	recv, send := newLoopbackPair(t)
+	br := NewBatchReader(recv, batch)
+	ring := NewRing(8, 256)
+
+	payloads := [][]byte{
+		[]byte("alpha"),
+		[]byte("bravo-longer-datagram"),
+		bytes.Repeat([]byte{0xAB}, 200),
+	}
+	for _, p := range payloads {
+		if _, err := send.Write(p); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+
+	got := collectDatagrams(t, br, ring, len(payloads))
+	wantExporter := send.LocalAddr().String()
+	for i, b := range got {
+		if !bytes.Equal(b.Data, payloads[i]) {
+			t.Errorf("datagram %d: got %d bytes, want %d (%q)", i, len(b.Data), len(payloads[i]), payloads[i])
+		}
+		if b.Exporter != wantExporter {
+			t.Errorf("datagram %d: exporter %q, want %q", i, b.Exporter, wantExporter)
+		}
+		if b.Truncated {
+			t.Errorf("datagram %d: spuriously marked truncated", i)
+		}
+	}
+
+}
+
+func TestSingleReaderLoopback(t *testing.T) { testReaderLoopback(t, 1) }
+func TestBatchReaderLoopback(t *testing.T)  { testReaderLoopback(t, 8) }
+
+func TestRecordArena(t *testing.T) {
+	var a RecordArena
+	recs := a.Take()
+	if len(recs) != 0 {
+		t.Fatalf("fresh Take returned %d records", len(recs))
+	}
+	for i := 0; i < 40; i++ {
+		recs = append(recs, flow.Record{SrcPort: uint16(i), Payload: []byte{1, 2, 3}})
+	}
+	a.Reset(recs)
+	if a.Cap() < 40 {
+		t.Fatalf("arena cap %d after absorbing 40 records", a.Cap())
+	}
+	grown := a.Cap()
+	again := a.Take()
+	if len(again) != 0 || cap(again) != grown {
+		t.Fatalf("second Take: len=%d cap=%d, want 0/%d", len(again), cap(again), grown)
+	}
+	// Payloads must have been released on Reset.
+	full := again[:40]
+	for i := range full {
+		if full[i].Payload != nil {
+			t.Fatalf("record %d still pins its payload after Reset", i)
+		}
+	}
+}
+
+// randomRecords builds n content-diverse records from a fixed seed.
+func randomRecords(rng *rand.Rand, n int) []flow.Record {
+	base := time.Date(2026, 1, 10, 0, 0, 0, 0, time.UTC)
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		start := base.Add(time.Duration(rng.Intn(86400)) * time.Second)
+		recs[i] = flow.Record{
+			Src:      flow.IP(rng.Uint32()),
+			Dst:      flow.IP(rng.Uint32()),
+			SrcPort:  uint16(rng.Intn(65536)),
+			DstPort:  uint16(rng.Intn(65536)),
+			Proto:    flow.TCP,
+			Start:    start,
+			End:      start.Add(time.Duration(rng.Intn(300)) * time.Second),
+			SrcPkts:  uint32(rng.Intn(1000)),
+			DstPkts:  uint32(rng.Intn(1000)),
+			SrcBytes: uint64(rng.Intn(1 << 20)),
+			DstBytes: uint64(rng.Intn(1 << 20)),
+			State:    flow.StateEstablished,
+		}
+	}
+	return recs
+}
+
+// keptSet returns the fingerprints of the records s keeps.
+func keptSet(s Sampler, recs []flow.Record) map[uint64]bool {
+	kept := make(map[uint64]bool)
+	for i := range recs {
+		if s.Keep(&recs[i]) {
+			kept[recs[i].Fingerprint(0)] = true
+		}
+	}
+	return kept
+}
+
+func sameSet(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSamplerDeterminism is the seq-stability property: the kept set is
+// a pure function of (record content, N, seed), invariant under any
+// reordering, splitting, or merging of the stream.
+func TestSamplerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	recs := randomRecords(rng, 4000)
+	s := Sampler{N: 16, Seed: 0x5EED}
+
+	want := keptSet(s, recs)
+
+	// Shuffled stream keeps the identical set.
+	shuffled := append([]flow.Record(nil), recs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if !sameSet(want, keptSet(s, shuffled)) {
+		t.Fatal("kept set changed under stream reordering")
+	}
+
+	// Arbitrary split (even random interleave) then merge keeps the set:
+	// each half's keeps union to exactly the whole stream's keeps.
+	var left, right []flow.Record
+	for i := range recs {
+		if rng.Intn(2) == 0 {
+			left = append(left, recs[i])
+		} else {
+			right = append(right, recs[i])
+		}
+	}
+	merged := keptSet(s, left)
+	for k := range keptSet(s, right) {
+		merged[k] = true
+	}
+	if !sameSet(want, merged) {
+		t.Fatal("kept set changed under stream split/merge")
+	}
+
+	// A second sampler with the same parameters agrees record by record;
+	// a different seed selects a materially different subset.
+	if !sameSet(want, keptSet(Sampler{N: 16, Seed: 0x5EED}, recs)) {
+		t.Fatal("identical sampler parameters disagreed")
+	}
+	other := keptSet(Sampler{N: 16, Seed: 0xD1FF}, recs)
+	common := 0
+	for k := range want {
+		if other[k] {
+			common++
+		}
+	}
+	if common == len(want) {
+		t.Fatal("different seeds kept the identical subset")
+	}
+
+	// The rate is close to 1/N for a content-diverse stream.
+	got := float64(len(want)) / float64(len(recs))
+	if got < 0.5/16 || got > 2.0/16 {
+		t.Fatalf("keep rate %.4f implausibly far from 1/16", got)
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(7)), 100)
+	for _, n := range []uint64{0, 1} {
+		s := Sampler{N: n, Seed: 99}
+		if s.Enabled() {
+			t.Fatalf("N=%d reports enabled", n)
+		}
+		for i := range recs {
+			if !s.Keep(&recs[i]) {
+				t.Fatalf("N=%d dropped a record", n)
+			}
+		}
+		if got := s.Filter(recs); len(got) != len(recs) {
+			t.Fatalf("N=%d Filter dropped records", n)
+		}
+	}
+}
+
+func TestSamplerFilterMatchesKeep(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(11)), 1000)
+	s := Sampler{N: 4, Seed: 1}
+	want := keptSet(s, recs)
+	got := s.Filter(append([]flow.Record(nil), recs...))
+	if len(got) != len(want) {
+		t.Fatalf("Filter kept %d records, Keep kept %d", len(got), len(want))
+	}
+	for i := range got {
+		if !want[got[i].Fingerprint(0)] {
+			t.Fatalf("Filter kept record %d that Keep rejects", i)
+		}
+	}
+}

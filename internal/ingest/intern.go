@@ -1,0 +1,52 @@
+package ingest
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// Interner maps exporter source addresses to canonical strings so the
+// receive path formats each distinct exporter exactly once. A border
+// deployment sees a handful of exporters send millions of packets;
+// without interning, every datagram pays a String() allocation — with
+// it, the steady-state lookup is a map hit on a comparable key and
+// allocates nothing.
+//
+// Safe for concurrent use. The table only grows (one entry per distinct
+// exporter address ever seen), which is bounded in practice by the
+// exporter population, not the packet rate.
+type Interner struct {
+	mu sync.RWMutex
+	m  map[netip.AddrPort]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[netip.AddrPort]string)}
+}
+
+// Intern returns the canonical string for addr, formatting it on first
+// sight only.
+func (in *Interner) Intern(addr netip.AddrPort) string {
+	in.mu.RLock()
+	s, ok := in.m[addr]
+	in.mu.RUnlock()
+	if ok {
+		return s
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s, ok := in.m[addr]; ok {
+		return s
+	}
+	s = addr.String()
+	in.m[addr] = s
+	return s
+}
+
+// Len returns how many distinct addresses have been interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.m)
+}

@@ -1,0 +1,56 @@
+package ingest
+
+import "plotters/internal/flow"
+
+// Sampler is the deterministic 1-in-N flow-sampling stage. The keep
+// decision for a record is a pure function of the record's content
+// fingerprint and the sampler's seed — no stream position, no RNG
+// state — so two samplers with the same (N, Seed) keep exactly the
+// same flow set regardless of how the stream is split across sockets,
+// merged, reordered, or sharded. That sequence stability is what makes
+// sampled detection reproducible: re-running a day at 1-in-16 keeps
+// the same sixteenth of the flows every time, and the eval suite can
+// attribute any detection change to sampling alone.
+//
+// A record is kept when fingerprint(seed) mod N == 0, which keeps an
+// unbiased 1/N of a content-diverse stream (the fingerprint is a
+// finalized 64-bit hash, so residues are uniform). N ≤ 1 keeps
+// everything — the default, which leaves the live path bit-identical
+// to an unsampled collector.
+type Sampler struct {
+	// N is the sampling divisor: keep 1 flow in N. Values ≤ 1 disable
+	// sampling.
+	N uint64
+	// Seed perturbs the fingerprint so distinct samplers select
+	// independent subsets.
+	Seed uint64
+}
+
+// Keep reports whether r survives sampling.
+func (s Sampler) Keep(r *flow.Record) bool {
+	if s.N <= 1 {
+		return true
+	}
+	return r.Fingerprint(s.Seed)%s.N == 0
+}
+
+// Enabled reports whether the sampler discards anything at all.
+func (s Sampler) Enabled() bool { return s.N > 1 }
+
+// Filter compacts recs in place to the kept subset and returns it. The
+// discarded tail is zeroed so arena-backed slices do not pin payloads.
+func (s Sampler) Filter(recs []flow.Record) []flow.Record {
+	if !s.Enabled() {
+		return recs
+	}
+	kept := recs[:0]
+	for i := range recs {
+		if s.Keep(&recs[i]) {
+			kept = append(kept, recs[i])
+		}
+	}
+	for i := len(kept); i < len(recs); i++ {
+		recs[i].Payload = nil
+	}
+	return kept
+}

@@ -49,6 +49,7 @@ import (
 	"plotters/internal/evasion"
 	"plotters/internal/flow"
 	"plotters/internal/flowio"
+	"plotters/internal/ingest"
 	"plotters/internal/label"
 	"plotters/internal/metrics"
 	"plotters/internal/overlay"
@@ -584,8 +585,8 @@ type (
 )
 
 // NewTraceReader opens a streaming reader for the given format
-// ("binary", "csv", "jsonl", or "netflow" — a stream of NetFlow v5
-// export packets).
+// ("binary", "csv", "jsonl", "netflow" — a stream of NetFlow v5
+// export packets — "ipfix", or "sflow").
 func NewTraceReader(r io.Reader, format string) (TraceReader, error) {
 	switch format {
 	case "binary":
@@ -596,15 +597,22 @@ func NewTraceReader(r io.Reader, format string) (TraceReader, error) {
 		return flowio.NewJSONLReader(r), nil
 	case "netflow":
 		return flowio.NewNetFlowReader(r), nil
+	case "ipfix":
+		return flowio.NewIPFIXReader(r), nil
+	case "sflow":
+		return flowio.NewSFlowReader(r), nil
 	default:
 		return nil, fmt.Errorf("plotters: unknown trace format %q", format)
 	}
 }
 
 // NewTraceWriter opens a streaming writer for the given format. The
-// "netflow" writer issues one Write per packed v5 packet, so handing it
-// a net.Conn replays the trace as real exporter datagrams (lossily:
-// millisecond timestamps, no responder counters, no payload).
+// "netflow", "ipfix", and "sflow" writers issue one Write per packed
+// export packet, so handing them a net.Conn replays the trace as real
+// exporter datagrams. "netflow" (v5) is lossy — millisecond
+// timestamps, no responder counters, no payload; "ipfix" and "sflow"
+// keep bidirectional counters and lose only sub-millisecond time and
+// payload.
 func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
 	switch format {
 	case "binary":
@@ -615,6 +623,10 @@ func NewTraceWriter(w io.Writer, format string) (TraceWriter, error) {
 		return flowio.NewJSONLWriter(w), nil
 	case "netflow":
 		return flowio.NewNetFlowWriter(w), nil
+	case "ipfix":
+		return flowio.NewIPFIXWriter(w), nil
+	case "sflow":
+		return flowio.NewSFlowWriter(w), nil
 	default:
 		return nil, fmt.Errorf("plotters: unknown trace format %q", format)
 	}
@@ -690,17 +702,25 @@ func MeterTraceReader(r TraceReader, reg *Metrics) TraceReader {
 	return flowio.MeterReader(r, reg)
 }
 
-// Live collection: a UDP listener decodes NetFlow v5/v9 export packets
-// from border routers (or flowreplay) and hands the records to a
-// Handler — typically a WindowedDetector for continuous detection off
-// the wire. See internal/collector for the full dataflow.
+// Live collection: a UDP listener decodes NetFlow v5/v9, IPFIX, and
+// sFlow v5 export packets from border routers (or flowreplay) and
+// hands the records to a Handler — typically a WindowedDetector for
+// continuous detection off the wire. The socket path is batched
+// (recvmmsg on Linux) and allocation-free at steady state, with an
+// optional deterministic 1-in-N flow-sampling stage
+// (CollectorConfig.SampleN). See internal/collector and
+// internal/ingest for the full dataflow.
 type (
-	// CollectorConfig shapes a live NetFlow collector.
+	// CollectorConfig shapes a live flow collector.
 	CollectorConfig = collector.Config
-	// Collector ingests NetFlow export packets from a UDP socket.
+	// Collector ingests flow export packets from a UDP socket.
 	Collector = collector.Collector
 	// NetFlowV5Header is the decoded fixed header of one v5 packet.
 	NetFlowV5Header = collector.V5Header
+	// FlowSampler is the deterministic content-hash 1-in-N sampling
+	// stage: the same (N, Seed) keeps the same flow set no matter how
+	// the stream is split, merged, or reordered.
+	FlowSampler = ingest.Sampler
 )
 
 // ListenNetFlow binds the collector's UDP socket; drive it with Run.
@@ -717,6 +737,22 @@ func AppendNetFlowV5(dst []byte, records []Record, seq uint32) ([]byte, error) {
 // records to dst.
 func DecodeNetFlowV5(pkt []byte, dst []Record) (NetFlowV5Header, []Record, error) {
 	return collector.DecodeV5(pkt, dst)
+}
+
+// AppendIPFIX encodes records as one self-describing IPFIX message
+// (template set + data set) appended to dst. seq is the exporter's
+// cumulative data-record count before this message; maintain it as
+// seq += len(records).
+func AppendIPFIX(dst []byte, records []Record, seq uint32) ([]byte, error) {
+	return collector.AppendIPFIX(dst, records, seq)
+}
+
+// AppendSFlow encodes records as one sFlow v5 datagram — one flow
+// sample per record, raw synthesized packet header plus the software
+// exporter's lossless extension record — appended to dst. seq numbers
+// the datagram; maintain it as seq++.
+func AppendSFlow(dst []byte, records []Record, seq uint32) ([]byte, error) {
+	return collector.AppendSFlow(dst, records, seq)
 }
 
 // Durable state: checkpoint/restore for crash-safe continuous

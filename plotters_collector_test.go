@@ -44,12 +44,10 @@ type collectorGolden struct {
 	Windows     []collectorWindow `json:"windows"`
 }
 
-// collectorCorpus synthesizes a scaled-down day 0 of the seed-42 corpus
-// (the equivalence needs a realistic record mix, not full scale) and
-// quantizes it through the NetFlow v5 codec. It returns the quantized
-// records — what any collector behind a real exporter would see — and
-// the encoded packet stream they rode in on.
-func collectorCorpus(t *testing.T) ([]plotters.Record, []byte, plotters.Window, plotters.Config) {
+// corpusDay synthesizes a scaled-down day 0 of the seed-42 corpus (the
+// loopback equivalence tests need a realistic record mix, not full
+// scale), shared by the v5 golden and the IPFIX/sFlow format loopback.
+func corpusDay(t *testing.T) ([]plotters.Record, plotters.Window, plotters.Config) {
 	t.Helper()
 	cfg := plotters.DefaultDatasetConfig(42)
 	cfg.Days = 1
@@ -73,14 +71,24 @@ func collectorCorpus(t *testing.T) ([]plotters.Record, []byte, plotters.Window, 
 	if err != nil {
 		t.Fatal(err)
 	}
+	return day.Records, ds.Days[0].Window, pipe
+}
+
+// collectorCorpus quantizes the corpus day through the NetFlow v5
+// codec. It returns the quantized records — what any collector behind a
+// real exporter would see — and the encoded packet stream they rode in
+// on.
+func collectorCorpus(t *testing.T) ([]plotters.Record, []byte, plotters.Window, plotters.Config) {
+	t.Helper()
+	records, window, pipe := corpusDay(t)
 
 	var buf bytes.Buffer
 	w, err := plotters.NewTraceWriter(&buf, "netflow")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range day.Records {
-		if err := w.Write(&day.Records[i]); err != nil {
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -102,10 +110,10 @@ func collectorCorpus(t *testing.T) ([]plotters.Record, []byte, plotters.Window, 
 		}
 		wire = append(wire, rec)
 	}
-	if len(wire) != len(day.Records) {
-		t.Fatalf("codec round trip lost records: %d != %d", len(wire), len(day.Records))
+	if len(wire) != len(records) {
+		t.Fatalf("codec round trip lost records: %d != %d", len(wire), len(records))
 	}
-	return wire, buf.Bytes(), ds.Days[0].Window, pipe
+	return wire, buf.Bytes(), window, pipe
 }
 
 // splitPackets cuts the encoded stream back into the individual v5

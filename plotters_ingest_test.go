@@ -1,0 +1,222 @@
+// Loopback equivalence for the line-rate ingest subsystem's new
+// decoders: the seed-42 corpus day packed into IPFIX and sFlow v5
+// export datagrams and replayed through a real UDP socket (batched
+// recvmmsg reader, pooled buffers, arena-backed records) must drive the
+// windowed engine to the exact same per-window outcome as feeding the
+// codec-quantized records directly. The outcome per format is pinned in
+// testdata/ingest_golden.json.
+//
+// After an intentional behavior change, regenerate with:
+//
+//	go test -run TestIngestLoopbackFormats -update
+package plotters_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"plotters"
+)
+
+const ingestGoldenPath = "testdata/ingest_golden.json"
+
+// packetWriter captures each Write as one wire datagram — the writers'
+// one-Write-per-packet contract makes this the packet splitter for any
+// export format.
+type packetWriter struct {
+	packets [][]byte
+}
+
+func (pw *packetWriter) Write(p []byte) (int, error) {
+	pw.packets = append(pw.packets, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+// formatCorpus quantizes the corpus day through one export trace codec,
+// returning the individual datagrams, their per-packet record counts,
+// and the decoded wire records a collector would reconstruct.
+func formatCorpus(t *testing.T, records []plotters.Record, format string) ([][]byte, []int, []plotters.Record) {
+	t.Helper()
+	var pw packetWriter
+	w, err := plotters.NewTraceWriter(&pw, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var counts []int
+	var wire []plotters.Record
+	for i, pkt := range pw.packets {
+		// Every datagram is self-describing, so each decodes alone.
+		r, err := plotters.NewTraceReader(bytes.NewReader(pkt), format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			rec, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s packet %d: %v", format, i, err)
+			}
+			wire = append(wire, rec)
+			n++
+		}
+		counts = append(counts, n)
+	}
+	if len(wire) != len(records) {
+		t.Fatalf("%s codec round trip lost records: %d != %d", format, len(wire), len(records))
+	}
+	return pw.packets, counts, wire
+}
+
+func TestIngestLoopbackFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis and loopback replay take a few seconds; skipped in -short mode")
+	}
+	records, window, pipe := corpusDay(t)
+
+	got := map[string]collectorGolden{}
+	for _, format := range []string{"ipfix", "sflow"} {
+		packets, counts, wire := formatCorpus(t, records, format)
+
+		// Reference: the quantized records fed straight into the engine.
+		var direct []collectorWindow
+		dEng := collectorEngine(t, pipe, window, &direct)
+		for i := range wire {
+			if err := dEng.Add(&wire[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dEng.AdvanceTo(window.To); err != nil {
+			t.Fatal(err)
+		}
+		if dEng.Dropped() != 0 {
+			t.Fatalf("%s: direct ingest dropped %d records", format, dEng.Dropped())
+		}
+
+		// Live path: the same datagrams through a real UDP socket and the
+		// batched ingest ring, sender flow-controlled on the collector's
+		// record counter.
+		var live []collectorWindow
+		lEng := collectorEngine(t, pipe, window, &live)
+		reg := plotters.NewMetrics()
+		col, err := plotters.ListenNetFlow(plotters.CollectorConfig{
+			Addr:    "127.0.0.1:0",
+			Workers: 1,
+			Metrics: reg,
+			Handler: func(records []plotters.Record) {
+				for i := range records {
+					if err := lEng.Add(&records[i]); err != nil {
+						t.Errorf("%s live ingest: %v", format, err)
+						return
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		runDone := make(chan error, 1)
+		go func() { runDone <- col.Run(ctx) }()
+
+		conn, err := net.Dial("udp", col.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := func() int64 {
+			return reg.TakeSnapshot().Counters["collector/records"]
+		}
+		sent := 0
+		for i, pkt := range packets {
+			if _, err := conn.Write(pkt); err != nil {
+				t.Fatal(err)
+			}
+			sent += counts[i]
+			deadline := time.Now().Add(10 * time.Second)
+			for decoded() < int64(sent) {
+				if time.Now().After(deadline) {
+					t.Fatalf("%s packet %d: collector decoded %d of %d sent records", format, i, decoded(), sent)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		conn.Close()
+		cancel()
+		if err := <-runDone; err != nil {
+			t.Fatal(err)
+		}
+		if err := lEng.AdvanceTo(window.To); err != nil {
+			t.Fatal(err)
+		}
+
+		snap := reg.TakeSnapshot()
+		for name, want := range map[string]int64{
+			"collector/packets":           int64(len(packets)),
+			"collector/records":           int64(len(wire)),
+			"collector/packets/dropped":   0,
+			"collector/packets/malformed": 0,
+			"collector/seq/gaps":          0,
+			"collector/sflow/skipped":     0,
+		} {
+			if got := snap.Counters[name]; got != want {
+				t.Errorf("%s: %s = %d, want %d", format, name, got, want)
+			}
+		}
+		if lEng.Dropped() != 0 {
+			t.Errorf("%s: live ingest dropped %d records", format, lEng.Dropped())
+		}
+		if !reflect.DeepEqual(live, direct) {
+			t.Fatalf("%s: live windows differ from direct ingest:\nlive   %+v\ndirect %+v", format, live, direct)
+		}
+		got[format] = collectorGolden{WireRecords: len(wire), Windows: direct}
+	}
+
+	// IPFIX and sFlow both carry bidirectional counters and millisecond
+	// times, so the two wire paths must agree with each other exactly.
+	if !reflect.DeepEqual(got["ipfix"].Windows, got["sflow"].Windows) {
+		t.Errorf("ipfix and sflow loopback outcomes diverge:\nipfix %+v\nsflow %+v",
+			got["ipfix"].Windows, got["sflow"].Windows)
+	}
+
+	if *update {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ingestGoldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", ingestGoldenPath)
+		return
+	}
+	raw, err := os.ReadFile(ingestGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want map[string]collectorGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("loopback outcome changed:\ngot  %+v\nwant %+v", got, want)
+	}
+}
